@@ -1,0 +1,41 @@
+// Shared helper for the ablation benches: rebuild a synthesized netlist
+// with a per-gate transformation (used to strip the acknowledgement scheme
+// or swap the MHS flip-flop for a plain C-element).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "netlist/netlist.hpp"
+
+namespace nshot::bench_ablation {
+
+/// Copy `source` into a new netlist with identical nets and primary
+/// inputs/outputs; every gate is passed through `transform`, which either
+/// returns the (possibly modified) gate to insert, or std::nullopt to take
+/// over insertion itself via the provided netlist reference (for 1-to-many
+/// rewrites).
+inline netlist::Netlist transform_netlist(
+    const netlist::Netlist& source,
+    const std::function<std::optional<netlist::Gate>(const netlist::Gate&, netlist::Netlist&)>&
+        transform) {
+  netlist::Netlist result(source.name());
+  for (netlist::NetId n = 0; n < source.num_nets(); ++n) result.add_net(source.net_name(n));
+  for (const netlist::NetId n : source.primary_inputs()) result.add_primary_input(n);
+  for (const netlist::NetId n : source.primary_outputs()) result.add_primary_output(n);
+  for (const netlist::Gate& gate : source.gates()) {
+    std::optional<netlist::Gate> replacement = transform(gate, result);
+    if (replacement) result.add_gate(std::move(*replacement));
+  }
+  return result;
+}
+
+/// Find or create a constant-1 primary input rail.
+inline netlist::NetId const_one(netlist::Netlist& nl) {
+  if (const auto existing = nl.find_net("const1")) return *existing;
+  const netlist::NetId net = nl.add_net("const1");
+  nl.add_primary_input(net);
+  return net;
+}
+
+}  // namespace nshot::bench_ablation

@@ -1,0 +1,89 @@
+// Ablation: WHY the acknowledgement scheme exists (Section IV-C).
+//
+// The enable-set / enable-reset gating holds new excitations off until the
+// opposite SOP has settled, preventing "trespassing pulses" from a previous
+// traversal from re-firing the flip-flop.  This bench removes the gating
+// (ties both enables to 1) and re-runs the closed-loop conformance sweep:
+// the stripped circuits misfire, the full N-SHOT circuits do not.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/ablation_util.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "nshot/synthesis.hpp"
+#include "sim/conformance.hpp"
+
+namespace {
+
+using namespace nshot;
+using gatelib::GateType;
+
+netlist::Netlist strip_acknowledgement(const netlist::Netlist& source) {
+  return bench_ablation::transform_netlist(
+      source, [](const netlist::Gate& gate, netlist::Netlist& nl)
+                  -> std::optional<netlist::Gate> {
+        if (gate.type != GateType::kMhsFlipFlop) return gate;
+        netlist::Gate stripped = gate;
+        const netlist::NetId one = bench_ablation::const_one(nl);
+        stripped.inputs[2] = one;  // enable_set
+        stripped.inputs[3] = one;  // enable_reset
+        return stripped;
+      });
+}
+
+void print_ablation() {
+  std::printf("Ablation: N-SHOT with the acknowledgement scheme removed\n");
+  std::printf("(both MHS enables tied high; everything else identical)\n\n");
+  std::printf("%-15s | %10s %9s | %10s %9s\n", "circuit", "full:viol", "deadlock",
+              "no-ack:viol", "deadlock");
+  int stripped_failures = 0, full_failures = 0;
+  for (const char* name : {"chu133", "chu150", "converta", "ebergen", "full", "hazard",
+                           "hybridf", "qr42", "vbe5b", "pmcm1", "pmcm2", "combuf1", "combuf2",
+                           "read-write", "sing2dual-inp"}) {
+    const sg::StateGraph g = bench_suite::build_benchmark(name);
+    const core::SynthesisResult result = core::synthesize(g);
+    const netlist::Netlist stripped = strip_acknowledgement(result.circuit);
+
+    sim::ConformanceOptions options;
+    options.runs = 25;
+    options.max_transitions = 150;
+    options.seed = 99;
+    options.input_delay_min = 0.05;  // a fast environment widens the
+    options.input_delay_max = 4.0;   // trespassing-pulse window
+    const sim::ConformanceReport full = sim::check_conformance(g, result.circuit, options);
+    const sim::ConformanceReport noack = sim::check_conformance(g, stripped, options);
+    std::printf("%-15s | %10zu %9d | %10zu %9d\n", name, full.violations.size(), full.deadlocks,
+                noack.violations.size(), noack.deadlocks);
+    full_failures += full.clean() ? 0 : 1;
+    stripped_failures += noack.clean() ? 0 : 1;
+  }
+  std::printf(
+      "\ncircuits failing: full N-SHOT %d, acknowledgement removed %d.\n"
+      "Trespassing pulses (Section IV-C) re-fire the flip-flop once the\n"
+      "gating that implements Eq. 1's timing contract is gone.  Note the\n"
+      "asymmetry with the paper's own finding: when set/reset SOP depths are\n"
+      "balanced, the MAX of Eq. 1 is negative and the reset path + flip-flop\n"
+      "response alone provide the settle margin — only the circuits with the\n"
+      "largest set/reset skew (here converta, 2-level vs 1-level SOPs)\n"
+      "actually misfire without the gating.\n",
+      full_failures, stripped_failures);
+}
+
+void bm_strip(benchmark::State& state) {
+  const core::SynthesisResult result = core::synthesize(bench_suite::build_benchmark("pmcm1"));
+  for (auto _ : state) {
+    const netlist::Netlist stripped = strip_acknowledgement(result.circuit);
+    benchmark::DoNotOptimize(stripped.num_gates());
+  }
+}
+BENCHMARK(bm_strip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,181 @@
+// assassin_cli — an end-to-end command-line driver mirroring the ASSASSIN
+// compiler flow the paper automates [21]:
+//
+//   assassin_cli <file.g|file.sg>  synthesize an STG (.g) or state graph (.sg)
+//   assassin_cli --benchmark NAME  synthesize a built-in Table 2 benchmark
+//   assassin_cli --list            list the built-in benchmarks
+//
+// Options:
+//   --exact          use exact (Quine-McCluskey) minimization per output
+//   --no-share       disable AND-gate sharing across outputs
+//   --solve-csc      resolve CSC violations by state-signal insertion
+//                    (STG inputs only; mirrors the preprocessing of [6,18])
+//   --netlist        print the synthesized netlist
+//   --verilog        print the circuit as self-contained Verilog
+//   --dot SIGNAL     print the SG as Graphviz DOT with SIGNAL's regions
+//   --pla            print the minimized cover in PLA format
+//   --regions        print the region analysis per non-input signal
+//   --check N        run N closed-loop conformance simulations (default 8)
+//   --vcd FILE       write one closed-loop simulation trace as VCD
+//   --baselines      also run the SIS-like / SYN-like / complex-gate flows
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "csc/csc_solver.hpp"
+#include "logic/pla.hpp"
+#include "netlist/verilog.hpp"
+#include "nshot/synthesis.hpp"
+#include "sg/dot.hpp"
+#include "sg/properties.hpp"
+#include "sg/regions.hpp"
+#include "sim/conformance.hpp"
+#include "stg/g_format.hpp"
+#include "stg/reachability.hpp"
+#include "stg/sg_format.hpp"
+
+namespace {
+
+void usage() {
+  std::puts(
+      "usage: assassin_cli (<file.g|file.sg> | --benchmark NAME | --list)\n"
+      "       [--exact] [--no-share] [--solve-csc] [--netlist] [--verilog]\n"
+      "       [--dot SIGNAL] [--pla] [--regions] [--check N] [--vcd FILE]\n"
+      "       [--baselines]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nshot;
+  std::string input_file, benchmark, dot_signal, vcd_file;
+  bool list = false, exact = false, no_share = false, solve_csc = false;
+  bool print_netlist = false, print_pla = false, print_regions = false, run_baselines = false;
+  bool print_verilog = false, print_dot = false;
+  int check_runs = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") list = true;
+    else if (arg == "--benchmark" && i + 1 < argc) benchmark = argv[++i];
+    else if (arg == "--exact") exact = true;
+    else if (arg == "--no-share") no_share = true;
+    else if (arg == "--solve-csc") solve_csc = true;
+    else if (arg == "--netlist") print_netlist = true;
+    else if (arg == "--verilog") print_verilog = true;
+    else if (arg == "--dot" && i + 1 < argc) { print_dot = true; dot_signal = argv[++i]; }
+    else if (arg == "--pla") print_pla = true;
+    else if (arg == "--regions") print_regions = true;
+    else if (arg == "--baselines") run_baselines = true;
+    else if (arg == "--check" && i + 1 < argc) check_runs = std::atoi(argv[++i]);
+    else if (arg == "--vcd" && i + 1 < argc) vcd_file = argv[++i];
+    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+    else if (!arg.empty() && arg[0] != '-') input_file = arg;
+    else { usage(); return 2; }
+  }
+
+  if (list) {
+    std::printf("%-15s %8s %6s %s\n", "name", "states*", "distr", "(* state count in the paper)");
+    for (const auto& info : bench_suite::all_benchmarks())
+      std::printf("%-15s %8d %6s\n", info.name.c_str(), info.paper_states,
+                  info.nondistributive ? "no" : "yes");
+    return 0;
+  }
+  if (input_file.empty() && benchmark.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    sg::StateGraph graph = [&] {
+      if (!benchmark.empty()) return bench_suite::build_benchmark(benchmark);
+      std::ifstream stream(input_file);
+      if (!stream) throw Error("cannot open " + input_file);
+      std::stringstream buffer;
+      buffer << stream.rdbuf();
+      const bool is_sg_format = input_file.size() >= 3 &&
+                                input_file.compare(input_file.size() - 3, 3, ".sg") == 0;
+      if (is_sg_format) return stg::parse_sg(buffer.str());
+      const stg::Stg net = stg::parse_g(buffer.str());
+      if (solve_csc) {
+        const auto solved = csc::solve_csc(net);
+        if (!solved) throw Error("CSC solving failed within the signal budget");
+        std::printf("CSC solved with %d inserted state signal(s):\n", solved->signals_added);
+        for (const std::string& note : solved->insertions) std::printf("  %s\n", note.c_str());
+        return solved->graph;
+      }
+      return stg::build_state_graph(net);
+    }();
+
+    std::printf("specification: %s — %d states, %zu input / %zu non-input signals\n",
+                graph.name().c_str(), graph.num_states(), graph.input_signals().size(),
+                graph.noninput_signals().size());
+    std::printf("distributive: %s, single traversal: %s\n",
+                sg::is_distributive(graph) ? "yes" : "no",
+                sg::is_single_traversal(graph) ? "yes" : "no");
+
+    if (print_regions)
+      for (const auto& regions : sg::compute_all_regions(graph))
+        std::printf("%s", regions.to_string(graph).c_str());
+
+    core::SynthesisOptions options;
+    options.exact = exact;
+    options.share_products = !no_share;
+    const core::SynthesisResult result = core::synthesize(graph, options);
+    std::printf("\n%s", core::describe(graph, result).c_str());
+
+    if (print_pla) std::printf("\n%s", logic::write_pla(result.cover).c_str());
+    if (print_netlist) std::printf("\n%s", result.circuit.to_string().c_str());
+    if (print_verilog)
+      std::printf("\n%s",
+                  netlist::write_verilog(result.circuit, gatelib::GateLibrary::standard())
+                      .c_str());
+    if (print_dot) {
+      sg::DotOptions dot_options;
+      dot_options.highlight_signal = graph.find_signal(dot_signal);
+      std::printf("\n%s", sg::to_dot(graph, dot_options).c_str());
+    }
+
+    if (!vcd_file.empty()) {
+      const sim::TracedRun traced = sim::record_vcd_trace(graph, result.circuit);
+      std::ofstream out(vcd_file);
+      if (!out) throw Error("cannot write " + vcd_file);
+      out << traced.vcd;
+      std::printf("\nwrote VCD trace (%ld transitions, %.1f time units) to %s\n",
+                  traced.report.external_transitions, traced.report.simulated_time,
+                  vcd_file.c_str());
+    }
+
+    if (check_runs > 0) {
+      sim::ConformanceOptions copt;
+      copt.runs = check_runs;
+      const sim::ConformanceReport report = sim::check_conformance(graph, result.circuit, copt);
+      std::printf("\nconformance: %s\n", report.summary().c_str());
+      if (!report.clean()) return 1;
+    }
+
+    if (run_baselines) {
+      auto show = [&](const char* name, const baselines::BaselineOutcome& outcome) {
+        if (outcome.ok())
+          std::printf("%-13s area %7.0f  delay %4.1f\n", name, outcome.result->stats.area,
+                      outcome.result->stats.delay);
+        else
+          std::printf("%-13s %s\n", name, baselines::failure_text(*outcome.failure).c_str());
+      };
+      std::printf("\nbaseline comparison:\n");
+      std::printf("%-13s area %7.0f  delay %4.1f\n", "n-shot", result.stats.area,
+                  result.stats.delay);
+      show("sis-like", baselines::synthesize_sis_like(graph));
+      show("syn-like", baselines::synthesize_syn_like(graph));
+      show("complex-gate", baselines::synthesize_complex_gate(graph));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

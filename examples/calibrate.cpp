@@ -1,0 +1,144 @@
+// Developer calibration tool: checks every benchmark reconstruction against
+// the properties the paper's flow requires and prints actual vs paper state
+// counts.  Used to tune the generator parameters in bench_suite.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "formal/si_verifier.hpp"
+#include "nshot/synthesis.hpp"
+#include "sg/properties.hpp"
+#include "sg/regions.hpp"
+#include "sim/conformance.hpp"
+
+static void synth_all(int max_states) {
+  using namespace nshot;
+  std::printf("%-15s %7s %7s %7s %9s %7s %7s %7s %8s\n", "benchmark", "states", "cubes", "lits",
+              "area", "delay", "t_del?", "conf", "ms");
+  for (const auto& info : bench_suite::all_benchmarks()) {
+    const sg::StateGraph g = info.build();
+    if (g.num_states() > max_states) continue;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      const auto result = core::synthesize(g);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      sim::ConformanceOptions copt;
+      copt.runs = 3;
+      copt.max_transitions = 60;
+      const auto conf = sim::check_conformance(g, result.circuit, copt);
+      std::printf("%-15s %7d %7zu %7d %9.0f %7.1f %7s %7s %8.0f\n", info.name.c_str(),
+                  g.num_states(), result.cover.size(), result.cover.literal_count(),
+                  result.stats.area, result.stats.delay,
+                  result.delay_compensation_used ? "yes" : "no",
+                  conf.clean() ? "clean" : "FAIL", ms);
+      if (!conf.clean()) std::printf("    %s\n", conf.summary().c_str());
+    } catch (const std::exception& e) {
+      std::printf("%-15s %7d SYNTH FAILED: %s\n", info.name.c_str(), g.num_states(), e.what());
+    }
+  }
+}
+
+static void baselines_all(int max_states) {
+  using namespace nshot;
+  std::printf("%-15s %7s | %18s | %18s | %18s\n", "benchmark", "states", "sis(area/del/fix)",
+              "syn(area/del)", "cg(area/del)");
+  for (const auto& info : bench_suite::all_benchmarks()) {
+    const sg::StateGraph g = info.build();
+    if (g.num_states() > max_states) continue;
+    auto fmt = [](const baselines::BaselineOutcome& o, int fixes = -1) {
+      char buf[64];
+      if (o.ok()) {
+        if (fixes >= 0)
+          std::snprintf(buf, sizeof buf, "%.0f/%.1f/%d", o.result->stats.area,
+                        o.result->stats.delay, o.result->hazard_fixes);
+        else
+          std::snprintf(buf, sizeof buf, "%.0f/%.1f", o.result->stats.area,
+                        o.result->stats.delay);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s", baselines::failure_text(*o.failure).c_str());
+      }
+      return std::string(buf);
+    };
+    const auto sis = baselines::synthesize_sis_like(g);
+    const auto syn = baselines::synthesize_syn_like(g);
+    const auto cg = baselines::synthesize_complex_gate(g);
+    std::printf("%-15s %7d | %18s | %18s | %18s\n", info.name.c_str(), g.num_states(),
+                fmt(sis, sis.ok() ? sis.result->hazard_fixes : -1).c_str(), fmt(syn).c_str(),
+                fmt(cg).c_str());
+  }
+}
+
+static void formal_all(int max_states) {
+  using namespace nshot;
+  std::printf("%-15s %7s | %14s %10s | %14s %10s\n", "benchmark", "states", "nshot(SI)",
+              "explored", "syn(SI)", "explored");
+  for (const auto& info : bench_suite::all_benchmarks()) {
+    const sg::StateGraph g = info.build();
+    if (g.num_states() > max_states) continue;
+    auto describe = [](const formal::SiVerifyResult& r) {
+      return r.exhausted ? "inconclusive" : (r.ok ? "pass" : "FAIL");
+    };
+    const auto nshot_result = core::synthesize(g);
+    formal::SiVerifyResult nshot_si;
+    try {
+      nshot_si = formal::verify_external_hazard_freeness(g, nshot_result.circuit);
+    } catch (const std::exception& e) {
+      std::printf("%-15s %7d | error: %s\n", info.name.c_str(), g.num_states(), e.what());
+      continue;
+    }
+    const auto syn = baselines::synthesize_syn_like(g);
+    std::string syn_text = "n/a";
+    std::size_t syn_explored = 0;
+    if (syn.ok()) {
+      const auto syn_si = formal::verify_external_hazard_freeness(g, syn.result->circuit);
+      syn_text = describe(syn_si);
+      syn_explored = syn_si.states_explored;
+    }
+    std::printf("%-15s %7d | %14s %10zu | %14s %10zu\n", info.name.c_str(), g.num_states(),
+                describe(nshot_si), nshot_si.states_explored, syn_text.c_str(), syn_explored);
+  }
+}
+
+int main(int argc, char** argv) {
+  using namespace nshot;
+  if (argc > 1 && std::strcmp(argv[1], "--formal") == 0) {
+    formal_all(argc > 2 ? std::atoi(argv[2]) : 100);
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--synth") == 0) {
+    synth_all(argc > 2 ? std::atoi(argv[2]) : 300);
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--baselines") == 0) {
+    baselines_all(argc > 2 ? std::atoi(argv[2]) : 300);
+    return 0;
+  }
+  std::printf("%-15s %7s %7s  %-5s %-5s %-5s %-5s %-6s %-6s\n", "benchmark", "paper", "actual",
+              "cons", "reach", "semi", "csc", "distr", "1trav");
+  for (const auto& info : bench_suite::all_benchmarks()) {
+    try {
+      const sg::StateGraph g = info.build();
+      const bool cons = sg::check_consistency(g).ok();
+      const bool reach = sg::check_reachability(g).ok();
+      const bool semi = sg::check_semi_modular(g).ok();
+      const bool csc = sg::check_csc(g).ok();
+      const bool distr = sg::is_distributive(g);
+      const bool trav = sg::is_single_traversal(g);
+      std::printf("%-15s %7d %7d  %-5s %-5s %-5s %-5s %-6s %-6s\n", info.name.c_str(),
+                  info.paper_states, g.num_states(), cons ? "ok" : "FAIL",
+                  reach ? "ok" : "FAIL", semi ? "ok" : "FAIL", csc ? "ok" : "FAIL",
+                  distr ? "yes" : "no", trav ? "yes" : "no");
+      if (!csc) std::printf("    csc: %s\n", sg::check_csc(g).summary().c_str());
+      if (!semi) std::printf("    semi: %s\n", sg::check_semi_modular(g).summary().c_str());
+      if (!cons) std::printf("    cons: %s\n", sg::check_consistency(g).summary().c_str());
+    } catch (const std::exception& e) {
+      std::printf("%-15s %7d BUILD FAILED: %s\n", info.name.c_str(), info.paper_states,
+                  e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Non-distributive industrial interface circuits (Section V, second part
+// of Table 2): the pmcm / combuf / sing2dual reconstructions.
+//
+// This example shows the practical gap the paper closes: for every one of
+// these specifications the monotonous-cover (SYN-like) and bounded-delay
+// (SIS-like) methods report "(1) non-distributive SG" and produce nothing,
+// while the N-SHOT flow synthesizes a circuit that passes closed-loop
+// hazard-free validation.
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "nshot/synthesis.hpp"
+#include "sg/properties.hpp"
+#include "sim/conformance.hpp"
+
+int main() {
+  using namespace nshot;
+  const char* names[] = {"pmcm1", "pmcm2", "combuf1", "combuf2", "sing2dual-inp",
+                         "sing2dual-out"};
+
+  std::printf("%-15s %7s %10s | %-22s %-22s | %12s %7s\n", "circuit", "states", "detonant",
+              "sis-like", "syn-like", "n-shot area", "conf");
+  bool all_clean = true;
+  for (const char* name : names) {
+    const sg::StateGraph g = bench_suite::build_benchmark(name);
+
+    // Count detonant states over all non-input signals (Definition 3).
+    int detonant = 0;
+    for (const sg::SignalId a : g.noninput_signals())
+      detonant += static_cast<int>(sg::detonant_states(g, a).size());
+
+    const auto sis = baselines::synthesize_sis_like(g);
+    const auto syn = baselines::synthesize_syn_like(g);
+    const core::SynthesisResult nshot = core::synthesize(g);
+
+    sim::ConformanceOptions options;
+    options.runs = 10;
+    options.max_transitions = 120;
+    const sim::ConformanceReport report = sim::check_conformance(g, nshot.circuit, options);
+    all_clean = all_clean && report.clean();
+
+    std::printf("%-15s %7d %10d | %-22s %-22s | %12.0f %7s\n", name, g.num_states(), detonant,
+                sis.ok() ? "ok" : baselines::failure_text(*sis.failure).c_str(),
+                syn.ok() ? "ok" : baselines::failure_text(*syn.failure).c_str(), nshot.stats.area,
+                report.clean() ? "clean" : "FAIL");
+  }
+  std::printf("\nall N-SHOT circuits externally hazard-free: %s\n", all_clean ? "yes" : "NO");
+  return all_clean ? 0 : 1;
+}

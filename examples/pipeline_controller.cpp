@@ -1,0 +1,60 @@
+// Parametric pipeline/broadcast controller demo: generate an N-way
+// controller STG of configurable width (the shape of the paper's large
+// bus benchmarks), synthesize it, and stress it in the closed-loop
+// simulator, reporting the internal-vs-external hazard activity that
+// motivates the architecture.
+//
+//   pipeline_controller [width] [chain_length] [runs]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_suite/generators.hpp"
+#include "nshot/synthesis.hpp"
+#include "sg/properties.hpp"
+#include "sim/conformance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nshot;
+  const int width = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int chain_length = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int runs = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  // Build: master input m releases `width` chains of `chain_length`
+  // signals each; the first chain signal is an input (a request), the
+  // rest are outputs (grant/done stages).
+  std::vector<std::vector<std::string>> chains;
+  std::vector<std::string> inputs, outputs;
+  for (int c = 0; c < width; ++c) {
+    std::vector<std::string> chain;
+    for (int k = 0; k < chain_length; ++k) {
+      const std::string name = std::string(1, static_cast<char>('a' + c)) + std::to_string(k);
+      chain.push_back(name);
+      (k == 0 ? inputs : outputs).push_back(name);
+    }
+    chains.push_back(std::move(chain));
+  }
+  const std::string g_text = bench_suite::parallel_chains_g(
+      "pipeline", "m", /*master_is_input=*/true, chains, inputs, outputs);
+  const sg::StateGraph graph = bench_suite::build_g(g_text);
+
+  std::printf("pipeline controller: width %d, chain length %d -> %d states, %d signals\n",
+              width, chain_length, graph.num_states(), graph.num_signals());
+  std::printf("preconditions: %s\n", sg::check_implementability(graph).summary().c_str());
+
+  const core::SynthesisResult result = core::synthesize(graph);
+  std::printf("%s", core::describe(graph, result).c_str());
+
+  sim::ConformanceOptions options;
+  options.runs = runs;
+  options.max_transitions = 60 * width;
+  const sim::ConformanceReport report = sim::check_conformance(graph, result.circuit, options);
+  std::printf("\nstress result over %d randomized-delay runs:\n", runs);
+  std::printf("  observable transitions (all spec-conformant): %ld\n",
+              report.external_transitions);
+  std::printf("  internal net toggles (SOP core may glitch):   %ld\n", report.internal_toggles);
+  std::printf("  violations: %zu, deadlocks: %d\n", report.violations.size(), report.deadlocks);
+  std::printf("=> %s\n", report.clean() ? "externally hazard-free" : "FAILED");
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Reimplementations of the comparator synthesis methods of Table 2.
+//
+// The authors compared ASSASSIN (this paper's N-SHOT flow) against two
+// closed-source tools.  We rebuild both from their published algorithms —
+// see DESIGN.md substitution 3 — preserving their documented restrictions
+// and failure modes:
+//
+//  * syn_like  — Beerel/Meng-style standard C-implementation [1], with the
+//    monotonous-cover acknowledgement constraints formalized in [4]: each
+//    excitation region must be covered by ONE AND gate that is on only
+//    inside that region and its quiescent region, so the C-element inputs
+//    are glitch-free by construction.  Restricted to distributive SGs
+//    (Table 2 note (1)); fails when no such cube exists, which is exactly
+//    when state-signal insertion would be required (notes (2)/(3)).
+//
+//  * sis_like  — Lavagno-style bounded-delay synthesis [5]: a conventional
+//    SOP next-state implementation with combinational feedback; hazards on
+//    specified static-1 transitions are detected and masked by inserting
+//    inertial delay pads, costing area and critical-path delay.
+//    Restricted to distributive SGs (note (1)).
+//
+//  * complex_gate — the single-complex-gate reference of [2, 7, 17]: each
+//    non-input signal is one atomic gate implementing its next-state
+//    function.  Reported for area/delay reference only (the atomicity
+//    assumption has no gate-level realization to simulate).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "logic/cover.hpp"
+#include "netlist/netlist.hpp"
+#include "sg/state_graph.hpp"
+
+namespace nshot::baselines {
+
+/// Why a baseline could not implement a state graph (Table 2 footnotes).
+enum class Failure {
+  kNonDistributive,    // note (1)
+  kNeedsStateSignals,  // note (2)/(3): no monotonous cover exists
+  kNotImplementable,   // SG fails CSC / consistency / semi-modularity
+};
+
+std::string failure_text(Failure failure);
+
+struct BaselineResult {
+  netlist::Netlist circuit;
+  netlist::NetlistStats stats;
+  int hazard_fixes = 0;  // sis_like: number of delay pads inserted
+};
+
+/// Outcome: a result or a classified failure.
+struct BaselineOutcome {
+  std::optional<BaselineResult> result;
+  std::optional<Failure> failure;
+
+  bool ok() const { return result.has_value(); }
+};
+
+BaselineOutcome synthesize_syn_like(const sg::StateGraph& sg);
+BaselineOutcome synthesize_sis_like(const sg::StateGraph& sg);
+BaselineOutcome synthesize_complex_gate(const sg::StateGraph& sg);
+
+}  // namespace nshot::baselines

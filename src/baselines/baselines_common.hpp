@@ -1,0 +1,27 @@
+// Shared helpers of the baseline synthesizers (internal header).
+#pragma once
+
+#include "logic/cover.hpp"
+#include "logic/spec.hpp"
+#include "netlist/netlist.hpp"
+#include "sg/state_graph.hpp"
+
+namespace nshot::baselines::detail {
+
+/// Next-state specification: output k is the next value of the k-th
+/// non-input signal — 1 on ER(+a) u QR(+a), 0 on ER(-a) u QR(-a),
+/// don't care on unreachable codes.
+logic::TwoLevelSpec next_state_spec(const sg::StateGraph& sg);
+
+/// Create one net per SG signal; input signals become primary inputs.
+/// Non-input nets are left undriven (the caller attaches the restoring
+/// element or feedback wire).  Returns the net ids in signal order.
+std::vector<netlist::NetId> make_signal_rails(const sg::StateGraph& sg, netlist::Netlist& nl);
+
+/// Build the AND gate of `cube` over the single-rail signal nets (negative
+/// literals use the inversion bubbles of the basic gates).
+netlist::NetId build_cube_gate(netlist::Netlist& nl, const logic::Cube& cube,
+                               const std::vector<netlist::NetId>& rails,
+                               const std::string& name);
+
+}  // namespace nshot::baselines::detail

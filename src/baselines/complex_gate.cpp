@@ -1,0 +1,56 @@
+#include "baselines/baselines.hpp"
+#include "baselines/baselines_common.hpp"
+#include "logic/espresso.hpp"
+#include "logic/verify.hpp"
+#include "sg/properties.hpp"
+#include "util/error.hpp"
+
+namespace nshot::baselines {
+
+using gatelib::GateType;
+using netlist::Gate;
+using netlist::NetId;
+
+BaselineOutcome synthesize_complex_gate(const sg::StateGraph& sg) {
+  if (!sg::check_implementability(sg).ok())
+    return BaselineOutcome{std::nullopt, Failure::kNotImplementable};
+
+  const logic::TwoLevelSpec spec = detail::next_state_spec(sg);
+  const logic::Cover cover = logic::espresso(spec);
+  NSHOT_ASSERT(logic::verify_cover(spec, cover).ok, "complex_gate cover incorrect");
+
+  netlist::Netlist nl(sg.name() + "_cg");
+  const std::vector<NetId> rails = detail::make_signal_rails(sg, nl);
+
+  std::vector<NetId> cube_nets(cover.size(), -1);
+  for (std::size_t c = 0; c < cover.size(); ++c)
+    cube_nets[c] = detail::build_cube_gate(nl, cover[c], rails, "and" + std::to_string(c));
+
+  const std::vector<sg::SignalId> noninputs = sg.noninput_signals();
+  for (std::size_t k = 0; k < noninputs.size(); ++k) {
+    const std::string base = sg.signal(noninputs[k]).name;
+    std::vector<NetId> ors;
+    for (std::size_t c = 0; c < cover.size(); ++c)
+      if (cover[c].has_output(static_cast<int>(k))) ors.push_back(cube_nets[c]);
+    NSHOT_REQUIRE(!ors.empty(), "complex_gate: constant next-state function for " + base);
+    const NetId sop = ors.size() == 1
+                          ? ors[0]
+                          : nl.build_tree(GateType::kOr, ors, {}, base + "_or",
+                                          /*force_gate=*/true);
+    // The method assumes the whole SOP is one atomic hazard-free gate; the
+    // zero-delay feedback wire closes the loop and cuts the analysis.
+    nl.add_gate(Gate{.type = GateType::kDelayLine,
+                     .name = base + "_fb",
+                     .inputs = {sop},
+                     .outputs = {rails[static_cast<std::size_t>(noninputs[k])]},
+                     .explicit_delay = 0.0,
+                     .feedback_cut = true});
+  }
+
+  nl.check_well_formed();
+  BaselineResult result{std::move(nl), {}, 0};
+  result.stats = result.circuit.stats(gatelib::GateLibrary::standard());
+  return BaselineOutcome{std::move(result), std::nullopt};
+}
+
+}  // namespace nshot::baselines

@@ -1,0 +1,98 @@
+#include <algorithm>
+
+#include "baselines/baselines.hpp"
+#include "baselines/baselines_common.hpp"
+#include "logic/espresso.hpp"
+#include "nshot/hazard_analysis.hpp"
+#include "logic/verify.hpp"
+#include "sg/properties.hpp"
+#include "util/error.hpp"
+
+namespace nshot::baselines {
+
+using gatelib::GateType;
+using netlist::Gate;
+using netlist::NetId;
+
+namespace {
+
+/// Static-1 hazard count of output `o` (see nshot/hazard_analysis.hpp):
+/// these are the hazards [5] masks with inserted delays.
+int count_static1_hazards(const sg::StateGraph& sg, const logic::TwoLevelSpec& spec,
+                          const logic::Cover& cover, int o) {
+  return static_cast<int>(core::static_one_hazards(sg, spec, cover, o).size());
+}
+
+}  // namespace
+
+BaselineOutcome synthesize_sis_like(const sg::StateGraph& sg) {
+  if (!sg::check_implementability(sg).ok())
+    return BaselineOutcome{std::nullopt, Failure::kNotImplementable};
+  if (!sg::is_distributive(sg)) return BaselineOutcome{std::nullopt, Failure::kNonDistributive};
+
+  // Conventional two-level minimization of the next-state functions.
+  const logic::TwoLevelSpec spec = detail::next_state_spec(sg);
+  const logic::Cover cover = logic::espresso(spec);
+  NSHOT_ASSERT(logic::verify_cover(spec, cover).ok, "sis_like cover incorrect");
+
+  netlist::Netlist nl(sg.name() + "_sis");
+  const std::vector<NetId> rails = detail::make_signal_rails(sg, nl);
+
+  // Shared AND plane over single-rail literals.
+  std::vector<NetId> cube_nets(cover.size(), -1);
+  for (std::size_t c = 0; c < cover.size(); ++c)
+    cube_nets[c] = detail::build_cube_gate(nl, cover[c], rails, "and" + std::to_string(c));
+
+  const std::vector<sg::SignalId> noninputs = sg.noninput_signals();
+  int total_fixes = 0;
+  for (std::size_t k = 0; k < noninputs.size(); ++k) {
+    const std::string base = sg.signal(noninputs[k]).name;
+    std::vector<NetId> ors;
+    for (std::size_t c = 0; c < cover.size(); ++c)
+      if (cover[c].has_output(static_cast<int>(k))) ors.push_back(cube_nets[c]);
+    NSHOT_REQUIRE(!ors.empty(), "sis_like: constant next-state function for " + base);
+    const NetId sop = ors.size() == 1
+                          ? ors[0]
+                          : nl.build_tree(GateType::kOr, ors, {}, base + "_or",
+                                          /*force_gate=*/true);
+
+    // Hazard masking: an output needs an inertial pad when its cover has a
+    // static-1 violation, or when it reads fed-back non-input literals (the
+    // classic essential-hazard situation of Huffman-style feedback, which
+    // the bounded-delay method of [5] masks with inserted delays).
+    // Otherwise the feedback is a plain wire.  Either element also closes
+    // the combinational feedback loop, so it is the analysis cut point.
+    bool feedback_literal = false;
+    for (const logic::Cube& cube : cover) {
+      if (!cube.has_output(static_cast<int>(k))) continue;
+      for (const sg::SignalId x : noninputs)
+        if (!cube.var_is_free(x)) feedback_literal = true;
+    }
+    const int hazards =
+        count_static1_hazards(sg, spec, cover, static_cast<int>(k)) + (feedback_literal ? 1 : 0);
+    const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
+    if (hazards > 0) {
+      ++total_fixes;
+      nl.add_gate(Gate{.type = GateType::kInertialDelay,
+                       .name = base + "_pad",
+                       .inputs = {sop},
+                       .outputs = {rails[static_cast<std::size_t>(noninputs[k])]},
+                       .explicit_delay = 2.0 * lib.level_delay(),
+                       .feedback_cut = true});
+    } else {
+      nl.add_gate(Gate{.type = GateType::kDelayLine,
+                       .name = base + "_fb",
+                       .inputs = {sop},
+                       .outputs = {rails[static_cast<std::size_t>(noninputs[k])]},
+                       .explicit_delay = 0.0,
+                       .feedback_cut = true});
+    }
+  }
+
+  nl.check_well_formed();
+  BaselineResult result{std::move(nl), {}, total_fixes};
+  result.stats = result.circuit.stats(gatelib::GateLibrary::standard());
+  return BaselineOutcome{std::move(result), std::nullopt};
+}
+
+}  // namespace nshot::baselines

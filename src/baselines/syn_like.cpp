@@ -1,0 +1,137 @@
+#include <algorithm>
+#include <set>
+
+#include "baselines/baselines.hpp"
+#include "baselines/baselines_common.hpp"
+#include "nshot/spec_derivation.hpp"
+#include "sg/properties.hpp"
+#include "sg/regions.hpp"
+#include "util/error.hpp"
+
+namespace nshot::baselines {
+
+using gatelib::GateType;
+using netlist::Gate;
+using netlist::NetId;
+
+std::string failure_text(Failure failure) {
+  switch (failure) {
+    case Failure::kNonDistributive: return "(1) non-distributive SG";
+    case Failure::kNeedsStateSignals: return "(2) must add state signals";
+    case Failure::kNotImplementable: return "not implementable (CSC/semi-modularity)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A monotonous cover cube for one excitation region: covers the whole ER,
+/// is on only inside ER u QR of that region (plus unreachable codes), and
+/// falls monotonically along the QR.  Returns std::nullopt when no such
+/// cube exists (state-signal insertion would be required).
+std::optional<logic::Cube> monotonous_cube(const sg::StateGraph& sg,
+                                           const sg::ExcitationRegion& er) {
+  // Region membership per state.
+  std::vector<bool> inside(static_cast<std::size_t>(sg.num_states()), false);
+  for (const sg::StateId s : er.states) inside[static_cast<std::size_t>(s)] = true;
+  for (const sg::StateId s : er.quiescent) inside[static_cast<std::size_t>(s)] = true;
+
+  auto acceptable = [&](const logic::Cube& cube) {
+    // On only inside the region (reachable states outside must not be
+    // covered; unreachable codes are free).
+    for (sg::StateId s = 0; s < sg.num_states(); ++s)
+      if (!inside[static_cast<std::size_t>(s)] && cube.covers_minterm(sg.code(s))) return false;
+    // Monotonic fall: no QR arc may re-enter the cube.
+    for (const sg::StateId s : er.quiescent) {
+      if (cube.covers_minterm(sg.code(s))) continue;
+      for (const sg::Edge& e : sg.out_edges(s))
+        if (inside[static_cast<std::size_t>(e.target)] &&
+            !sg.excited(e.target, er.signal) &&  // target in QR
+            cube.covers_minterm(sg.code(e.target)))
+          return false;
+    }
+    return true;
+  };
+
+  // The supercube of the ER is the minimal cube covering it; any valid
+  // monotonous cube contains it, so if it is not acceptable none exists.
+  logic::Cube cube = logic::Cube::minterm(sg.code(er.states.front()), sg.num_signals(), 0);
+  for (const sg::StateId s : er.states)
+    cube = cube.supercube(logic::Cube::minterm(sg.code(s), sg.num_signals(), 0));
+  if (!acceptable(cube)) return std::nullopt;
+
+  // Literal reduction: raise variables while the cube stays acceptable.
+  for (int v = 0; v < sg.num_signals(); ++v) {
+    if (cube.var_is_free(v)) continue;
+    logic::Cube candidate = cube;
+    candidate.raise_var(v);
+    if (acceptable(candidate)) cube = candidate;
+  }
+  return cube;
+}
+
+}  // namespace
+
+BaselineOutcome synthesize_syn_like(const sg::StateGraph& sg) {
+  if (!sg::check_implementability(sg).ok())
+    return BaselineOutcome{std::nullopt, Failure::kNotImplementable};
+  if (!sg::is_distributive(sg)) return BaselineOutcome{std::nullopt, Failure::kNonDistributive};
+
+  netlist::Netlist nl(sg.name() + "_syn");
+  const std::vector<NetId> rails = detail::make_signal_rails(sg, nl);
+
+  struct SignalPlan {
+    sg::SignalId signal;
+    std::vector<logic::Cube> set_cubes, reset_cubes;
+  };
+  std::vector<SignalPlan> plans;
+  for (const sg::SignalId a : sg.noninput_signals()) {
+    SignalPlan plan{a, {}, {}};
+    const sg::SignalRegions regions = sg::compute_regions(sg, a);
+    for (const sg::ExcitationRegion& er : regions.regions) {
+      const auto cube = monotonous_cube(sg, er);
+      if (!cube) return BaselineOutcome{std::nullopt, Failure::kNeedsStateSignals};
+      (er.rising ? plan.set_cubes : plan.reset_cubes).push_back(*cube);
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  std::optional<NetId> const_zero;
+  auto get_const_zero = [&]() {
+    if (!const_zero) {
+      const_zero = nl.add_net("const0");
+      nl.add_primary_input(*const_zero);
+    }
+    return *const_zero;
+  };
+
+  for (const SignalPlan& plan : plans) {
+    const std::string base = sg.signal(plan.signal).name;
+    auto or_plane = [&](const std::vector<logic::Cube>& cubes,
+                        const std::string& suffix) -> NetId {
+      if (cubes.empty()) return get_const_zero();  // signal never moves this way
+      std::vector<NetId> nets;
+      for (std::size_t i = 0; i < cubes.size(); ++i)
+        nets.push_back(detail::build_cube_gate(nl, cubes[i], rails,
+                                               base + "_" + suffix + std::to_string(i)));
+      if (nets.size() == 1) return nets[0];
+      return nl.build_tree(GateType::kOr, nets, {}, base + "_or_" + suffix, /*force_gate=*/true);
+    };
+    const NetId set_net = or_plane(plan.set_cubes, "set");
+    const NetId reset_net = or_plane(plan.reset_cubes, "reset");
+    // Standard C-implementation: the C-element rises when set = 1 and
+    // reset = 0, falls when set = 0 and reset = 1, holds otherwise.
+    nl.add_gate(Gate{.type = GateType::kCElement,
+                     .name = base + "_c",
+                     .inputs = {set_net, reset_net},
+                     .inverted = {false, true},
+                     .outputs = {rails[static_cast<std::size_t>(plan.signal)]}});
+  }
+
+  nl.check_well_formed();
+  BaselineResult result{std::move(nl), {}, 0};
+  result.stats = result.circuit.stats(gatelib::GateLibrary::standard());
+  return BaselineOutcome{std::move(result), std::nullopt};
+}
+
+}  // namespace nshot::baselines

@@ -1,0 +1,44 @@
+// The Table 2 benchmark suite (reconstructions — see DESIGN.md §5).
+//
+// Every entry carries the numbers the paper reports (state count and the
+// area/delay of the SIS, SYN and ASSASSIN columns, or the footnote code
+// when a tool could not handle the circuit) so the bench harness can print
+// paper-vs-measured side by side.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace nshot::bench_suite {
+
+struct BenchmarkInfo {
+  std::string name;
+  int paper_states = 0;
+  // Table 2 columns as printed in the paper ("352/5.2", "(1)", "(2)", ...).
+  std::string paper_sis;
+  std::string paper_syn;
+  std::string paper_assassin;
+  bool nondistributive = false;  // second part of Table 2
+  bool sg_format = false;        // note (4): given as SG, SIS cannot read it
+  std::function<sg::StateGraph()> build;
+};
+
+/// All 25 circuits of Table 2, in the paper's order.
+const std::vector<BenchmarkInfo>& all_benchmarks();
+
+/// Look up one benchmark by name; throws nshot::Error if unknown.
+const BenchmarkInfo& find_benchmark(const std::string& name);
+
+/// Build the state graph of a named benchmark.
+sg::StateGraph build_benchmark(const std::string& name);
+
+/// The 15-state read-write core on its own (without the scaling product):
+/// an output fires twice per cycle with overlapping excitation-region
+/// contexts, so it satisfies CSC without USC and defeats per-region
+/// monotonous covers (Table 2 note (2)).  Exposed for tests and examples.
+sg::StateGraph build_read_write_core();
+
+}  // namespace nshot::bench_suite

@@ -1,0 +1,73 @@
+// Parametric generators for the benchmark reconstructions (DESIGN.md §5).
+//
+// The original .g files of the Table 2 suite are not redistributable /
+// available offline, so each named benchmark is rebuilt from classic
+// asynchronous-controller structures:
+//
+//  * staged cycles   — marked-graph rings of barrier-synchronized stages
+//    (the skeleton of handshake and pipeline controllers).  Marked graphs
+//    are persistent, hence the generated SGs are semi-modular by
+//    construction; the alternating stage polarities keep codes phase-
+//    distinguishable (CSC), which the test-suite verifies per benchmark.
+//  * choice cycles   — a free-choice place between input transitions
+//    selects one of several handshake branches (input choices).
+//  * OR-causality cells — the paper's Figure 1 pattern (an output fires
+//    when the FIRST of two concurrent inputs arrives), the canonical
+//    non-distributive behaviour; the cell is closed with an acknowledge
+//    input so it satisfies CSC.
+//  * SG products     — interleaved product of component SGs on disjoint
+//    signals, used to scale non-distributive designs to the state counts
+//    of the industrial circuits in Table 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+#include "stg/stg.hpp"
+
+namespace nshot::bench_suite {
+
+/// Render a staged-cycle STG as .g text.  `stages[i]` lists the signal
+/// transitions of stage i (e.g. {"a+", "b+"}); every transition of stage i
+/// is joined to every transition of stage i+1 (barrier), and the cycle
+/// closes from the last stage to the first (which holds the initial
+/// marking).
+std::string staged_cycle_g(const std::string& name, const std::vector<std::string>& inputs,
+                           const std::vector<std::string>& outputs,
+                           const std::vector<std::vector<std::string>>& stages);
+
+/// Render a choice-cycle STG as .g text: a free-choice place feeds the
+/// first transition of every branch (these must be input transitions);
+/// each branch is a serial sequence returning to the choice place.
+std::string choice_cycle_g(const std::string& name, const std::vector<std::string>& inputs,
+                           const std::vector<std::string>& outputs,
+                           const std::vector<std::vector<std::string>>& branches);
+
+/// Render a parallel-chains STG as .g text: a master signal `m` rises,
+/// releasing every chain; the signals of one chain rise in sequence while
+/// the chains run concurrently; when all chains complete, m falls and the
+/// chains fall the same way.  This is the shape of N-way bus/broadcast
+/// controllers (used for the large Table 2 circuits); each non-first chain
+/// signal is triggered by its predecessor, so the per-signal logic is
+/// non-trivial.
+std::string parallel_chains_g(const std::string& name, const std::string& master,
+                              bool master_is_input,
+                              const std::vector<std::vector<std::string>>& chains,
+                              const std::vector<std::string>& inputs,
+                              const std::vector<std::string>& outputs);
+
+/// Parse .g text and build its state graph.
+sg::StateGraph build_g(const std::string& g_text);
+
+/// The Figure-1 OR-causality cell: inputs <p>a, <p>b rise concurrently and
+/// output <p>c fires on the first arrival; an acknowledge input <p>d closes
+/// the handshake so the cell satisfies CSC (16 states, non-distributive,
+/// single traversal).
+sg::StateGraph or_causality_cell(const std::string& name, const std::string& prefix);
+
+/// Interleaved product of two SGs over disjoint signal sets.
+sg::StateGraph sg_product(const sg::StateGraph& a, const sg::StateGraph& b,
+                          const std::string& name);
+
+}  // namespace nshot::bench_suite

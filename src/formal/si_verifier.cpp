@@ -1,0 +1,255 @@
+#include "formal/si_verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/conformance.hpp"
+#include "util/error.hpp"
+
+namespace nshot::formal {
+namespace {
+
+using gatelib::GateType;
+using netlist::Gate;
+using netlist::NetId;
+
+/// Composite search key: net values (<= 64 nets) and the spec state.
+struct Key {
+  std::uint64_t values;
+  sg::StateId spec;
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::uint64_t x = k.values ^ (static_cast<std::uint64_t>(k.spec) * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+           const SiVerifyOptions& options)
+      : spec_(spec), circuit_(circuit), options_(options) {}
+
+  SiVerifyResult run() {
+    SiVerifyResult result;
+    NSHOT_REQUIRE(circuit_.num_nets() <= 64,
+                  "formal verification supports at most 64 nets; use the timed simulator for "
+                  "larger circuits");
+
+    // Net <-> signal maps.
+    net_signal_.assign(static_cast<std::size_t>(circuit_.num_nets()), -1);
+    signal_net_.assign(static_cast<std::size_t>(spec_.num_signals()), -1);
+    for (int x = 0; x < spec_.num_signals(); ++x) {
+      const auto net = circuit_.find_net(spec_.signal(x).name);
+      NSHOT_REQUIRE(net.has_value(), "circuit has no net for signal " + spec_.signal(x).name);
+      signal_net_[static_cast<std::size_t>(x)] = *net;
+      if (!spec_.is_input(x)) net_signal_[static_cast<std::size_t>(*net)] = x;
+    }
+
+    const std::uint64_t initial_values = settled_initial_values();
+    std::unordered_set<Key, KeyHash> seen;
+    std::deque<Key> queue;
+    const Key start{initial_values, spec_.initial()};
+    seen.insert(start);
+    queue.push_back(start);
+
+    while (!queue.empty()) {
+      if (seen.size() > options_.max_states) {
+        result.exhausted = true;
+        result.states_explored = seen.size();
+        return result;
+      }
+      const Key key = queue.front();
+      queue.pop_front();
+
+      bool any_move = false;
+      // Environment moves: any input transition the spec enables.
+      for (const sg::TransitionLabel& label : spec_.enabled_labels(key.spec)) {
+        if (!spec_.is_input(label.signal)) continue;
+        any_move = true;
+        const NetId net = signal_net_[static_cast<std::size_t>(label.signal)];
+        // The net must currently carry the pre-transition value (it does:
+        // inputs are only driven by the environment itself).
+        const Key next{key.values ^ (1ULL << net), *spec_.successor(key.spec, label)};
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+
+      // Gate moves: any excited gate may fire.
+      for (const Gate& gate : circuit_.gates()) {
+        std::uint64_t flips = 0;
+        if (!excitation(gate, key.values, flips)) continue;
+        any_move = true;
+
+        // Does this firing change an observable net?
+        sg::StateId next_spec = key.spec;
+        bool violation = false;
+        std::string reason;
+        for (const NetId out : gate.outputs) {
+          if (((flips >> out) & 1ULL) == 0) continue;
+          const int x = net_signal_[static_cast<std::size_t>(out)];
+          if (x < 0) continue;
+          const bool new_value = ((key.values >> out) & 1ULL) == 0;
+          const sg::TransitionLabel label{x, new_value};
+          const auto successor = spec_.successor(next_spec, label);
+          if (!successor) {
+            violation = true;
+            reason = "gate " + gate.name + " fires unexpected " + spec_.label_name(label) +
+                     " in spec state " + spec_.state_name(next_spec);
+            break;
+          }
+          next_spec = *successor;
+        }
+        if (violation) {
+          result.ok = false;
+          result.violation = reason;
+          result.states_explored = seen.size();
+          return result;
+        }
+        const Key next{key.values ^ flips, next_spec};
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+
+      if (!any_move) {
+        // Quiescent: fine unless the spec still expects a non-input move.
+        for (const sg::TransitionLabel& label : spec_.enabled_labels(key.spec)) {
+          if (spec_.is_input(label.signal)) continue;
+          result.ok = false;
+          result.violation = "deadlock: circuit quiescent but spec state " +
+                             spec_.state_name(key.spec) + " enables " + spec_.label_name(label);
+          result.states_explored = seen.size();
+          return result;
+        }
+      }
+    }
+
+    result.ok = true;
+    result.states_explored = seen.size();
+    return result;
+  }
+
+ private:
+  bool value(std::uint64_t values, NetId n) const { return (values >> n) & 1ULL; }
+
+  /// If `gate` is excited under `values`, set `flips` to the output bits
+  /// that change and return true.
+  bool excitation(const Gate& gate, std::uint64_t values, std::uint64_t& flips) const {
+    auto in = [&](std::size_t i) {
+      const bool v = value(values, gate.inputs[i]);
+      return gate.input_inverted(i) ? !v : v;
+    };
+    const NetId out0 = gate.outputs[0];
+    bool target = value(values, out0);
+    switch (gate.type) {
+      case GateType::kAnd: {
+        target = true;
+        for (std::size_t i = 0; i < gate.inputs.size(); ++i) target = target && in(i);
+        break;
+      }
+      case GateType::kOr: {
+        target = false;
+        for (std::size_t i = 0; i < gate.inputs.size(); ++i) target = target || in(i);
+        break;
+      }
+      case GateType::kInv:
+        target = !in(0);
+        break;
+      case GateType::kBuf:
+      case GateType::kDelayLine:
+      case GateType::kInertialDelay:
+        target = in(0);
+        break;
+      case GateType::kRsLatch:
+        target = in(0) ? true : (in(1) ? false : value(values, out0));
+        break;
+      case GateType::kCElement: {
+        bool all_one = true, all_zero = true;
+        for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+          if (in(i)) all_zero = false;
+          else all_one = false;
+        }
+        target = all_one ? true : (all_zero ? false : value(values, out0));
+        break;
+      }
+      case GateType::kMhsFlipFlop: {
+        // Enable-gated C-element abstraction (threshold is a timed
+        // property; every pulse is assumed to fire — pessimistic).
+        const bool set_eff = in(0) && in(2);
+        const bool reset_eff = in(1) && in(3);
+        const bool q = value(values, out0);
+        target = (set_eff && !reset_eff) ? true : ((reset_eff && !set_eff) ? false : q);
+        if (target != q) {
+          flips = (1ULL << out0) | (1ULL << gate.outputs[1]);  // dual rail flips atomically
+          return true;
+        }
+        return false;
+      }
+    }
+    if (target != value(values, out0)) {
+      flips = 1ULL << out0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Initial net values: the conformance helper's assignments plus a
+  /// combinational settle (same procedure as the timed simulator).
+  std::uint64_t settled_initial_values() const {
+    std::uint64_t values = 0;
+    std::vector<bool> known(static_cast<std::size_t>(circuit_.num_nets()), false);
+    for (const auto& [net, v] : sim::initial_net_values(spec_, circuit_)) {
+      if (v) values |= (1ULL << net);
+      known[static_cast<std::size_t>(net)] = true;
+    }
+    for (const NetId pi : circuit_.primary_inputs()) known[static_cast<std::size_t>(pi)] = true;
+
+    std::vector<const Gate*> pending;
+    for (const Gate& g : circuit_.gates())
+      if (!gatelib::is_storage(g.type) && !g.feedback_cut) pending.push_back(&g);
+    bool progress = true;
+    while (progress && !pending.empty()) {
+      progress = false;
+      std::vector<const Gate*> still;
+      for (const Gate* g : pending) {
+        const bool ready = std::all_of(g->inputs.begin(), g->inputs.end(), [&](NetId n) {
+          return known[static_cast<std::size_t>(n)];
+        });
+        if (!ready) {
+          still.push_back(g);
+          continue;
+        }
+        std::uint64_t flips = 0;
+        if (excitation(*g, values, flips)) values ^= flips;
+        known[static_cast<std::size_t>(g->outputs[0])] = true;
+        progress = true;
+      }
+      pending = std::move(still);
+    }
+    NSHOT_ASSERT(pending.empty(), "initial settle failed (combinational cycle?)");
+    return values;
+  }
+
+  const sg::StateGraph& spec_;
+  const netlist::Netlist& circuit_;
+  const SiVerifyOptions& options_;
+  std::vector<int> net_signal_;
+  std::vector<NetId> signal_net_;
+};
+
+}  // namespace
+
+SiVerifyResult verify_external_hazard_freeness(const sg::StateGraph& spec,
+                                               const netlist::Netlist& circuit,
+                                               const SiVerifyOptions& options) {
+  Explorer explorer(spec, circuit, options);
+  return explorer.run();
+}
+
+}  // namespace nshot::formal

@@ -1,0 +1,54 @@
+// Formal external-hazard-freeness verification by exhaustive interleaving
+// exploration.
+//
+// The randomized event simulator samples the delay space; this module
+// covers it exhaustively under the classical speed-independent gate
+// abstraction used by [1, 17, 4]: every gate is an atomic evaluator with
+// an arbitrary, unbounded delay — an excited gate (output != function of
+// inputs) may fire at any moment, and losing its excitation cancels the
+// pending change (inertial semantics).  The verifier explores every
+// interleaving of
+//   * gate firings (including the glitchy intermediate states of the SOP
+//     core — these are the internal hazards the architecture tolerates),
+//   * environment moves (an input transition the specification enables in
+//     the current spec state may fire at any time),
+// and checks that every change of an observable non-input net is a
+// transition the specification enables in the tracked spec state.  The
+// MHS flip-flop is modelled as an enable-gated C-element: the threshold
+// filter is a *timed* property the untimed abstraction cannot express, so
+// every pulse is assumed wide enough to fire — the pessimistic direction
+// for external hazards.
+//
+// The search memoizes (net values, spec state) pairs; circuits explored
+// here are therefore the small and mid-size benchmarks (the state count
+// is capped), with the timed simulator covering the rest of the suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sg/state_graph.hpp"
+
+namespace nshot::formal {
+
+struct SiVerifyOptions {
+  std::size_t max_states = 2'000'000;  // (net values, spec state) pairs
+};
+
+struct SiVerifyResult {
+  bool ok = false;
+  bool exhausted = false;        // state cap hit: result is inconclusive
+  std::size_t states_explored = 0;
+  std::string violation;         // first offending trace step, if !ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Exhaustively verify `circuit` against `spec`.  Net naming conventions
+/// are the repository-wide ones (signal rails named after SG signals).
+SiVerifyResult verify_external_hazard_freeness(const sg::StateGraph& spec,
+                                               const netlist::Netlist& circuit,
+                                               const SiVerifyOptions& options = {});
+
+}  // namespace nshot::formal

@@ -1,0 +1,102 @@
+#include "gatelib/gate_library.hpp"
+
+#include "util/error.hpp"
+
+namespace nshot::gatelib {
+
+bool is_storage(GateType type) {
+  switch (type) {
+    case GateType::kCElement:
+    case GateType::kRsLatch:
+    case GateType::kMhsFlipFlop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kAnd: return "AND";
+    case GateType::kOr: return "OR";
+    case GateType::kInv: return "INV";
+    case GateType::kBuf: return "BUF";
+    case GateType::kCElement: return "C";
+    case GateType::kRsLatch: return "RS";
+    case GateType::kMhsFlipFlop: return "MHS";
+    case GateType::kDelayLine: return "DELAY";
+    case GateType::kInertialDelay: return "IDELAY";
+  }
+  return "?";
+}
+
+const GateLibrary& GateLibrary::standard() {
+  static const GateLibrary library;
+  return library;
+}
+
+double GateLibrary::area(GateType type, int fanin) const {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kOr:
+      NSHOT_REQUIRE(fanin >= 1 && fanin <= max_fanin(),
+                    "AND/OR fanin must be decomposed to at most 4");
+      return 8.0 * (fanin + 1);
+    case GateType::kInv:
+    case GateType::kBuf:
+      return 16.0;
+    case GateType::kCElement:
+      return 48.0;
+    case GateType::kRsLatch:
+      return 32.0;
+    case GateType::kMhsFlipFlop:
+      // The flip-flop proper is comparable in size to a C-element (Section
+      // IV-B, footnote 4); the cell here also integrates the two
+      // acknowledgement AND gates of Figure 5.
+      return 88.0;
+    case GateType::kDelayLine:
+    case GateType::kInertialDelay:
+      return 24.0;
+  }
+  return 0.0;
+}
+
+GateTiming GateLibrary::timing(GateType type, int) const {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kInv:
+    case GateType::kBuf:
+      return {0.4, 1.2};
+    case GateType::kRsLatch:
+      return {0.4, 1.2};
+    case GateType::kCElement:
+      return {0.8, 2.4};
+    case GateType::kMhsFlipFlop:
+      return {mhs_response(), mhs_response()};
+    case GateType::kDelayLine:
+    case GateType::kInertialDelay:
+      return {0.0, 0.0};  // instance delay is explicit
+  }
+  return {0.0, 0.0};
+}
+
+double GateLibrary::report_delay(GateType type) const {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kInv:
+    case GateType::kBuf:
+    case GateType::kRsLatch:
+      return level_delay();
+    case GateType::kCElement:
+    case GateType::kMhsFlipFlop:
+      return 2.0 * level_delay();
+    case GateType::kDelayLine:
+    case GateType::kInertialDelay:
+      return 0.0;  // instance delay is explicit
+  }
+  return 0.0;
+}
+
+}  // namespace nshot::gatelib

@@ -1,0 +1,67 @@
+#include "logic/cover.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nshot::logic {
+
+Cover::Cover(int num_inputs, int num_outputs)
+    : num_inputs_(num_inputs), num_outputs_(num_outputs) {}
+
+void Cover::add(const Cube& cube) {
+  NSHOT_REQUIRE(cube.num_inputs() == num_inputs_, "cube width does not match cover");
+  cubes_.push_back(cube);
+}
+
+bool Cover::covers(std::uint64_t code, int o) const {
+  for (const Cube& c : cubes_)
+    if (c.has_output(o) && c.covers_minterm(code)) return true;
+  return false;
+}
+
+std::vector<std::size_t> Cover::covering_cubes(std::uint64_t code, int o) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < cubes_.size(); ++i)
+    if (cubes_[i].has_output(o) && cubes_[i].covers_minterm(code)) indices.push_back(i);
+  return indices;
+}
+
+int Cover::literal_count() const {
+  int total = 0;
+  for (const Cube& c : cubes_) total += c.literal_count();
+  return total;
+}
+
+int Cover::cube_count_for_output(int o) const {
+  int count = 0;
+  for (const Cube& c : cubes_)
+    if (c.has_output(o)) ++count;
+  return count;
+}
+
+void Cover::remove_contained() {
+  std::sort(cubes_.begin(), cubes_.end());
+  cubes_.erase(std::unique(cubes_.begin(), cubes_.end()), cubes_.end());
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (cubes_[i].outputs() == 0) continue;
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j)
+      contained = (i != j) && cubes_[j].contains(cubes_[i]);
+    if (!contained) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+std::string Cover::to_string() const {
+  std::string text;
+  for (const Cube& c : cubes_) {
+    text += c.to_string();
+    text.push_back('\n');
+  }
+  return text;
+}
+
+}  // namespace nshot::logic

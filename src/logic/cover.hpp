@@ -1,0 +1,56 @@
+// A cover: list of cubes implementing a multi-output two-level function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace nshot::logic {
+
+/// An ordered list of product terms over a common input/output space.
+class Cover {
+ public:
+  Cover(int num_inputs, int num_outputs);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+
+  void add(const Cube& cube);
+  void clear() { cubes_.clear(); }
+
+  std::size_t size() const { return cubes_.size(); }
+  bool empty() const { return cubes_.empty(); }
+  const Cube& operator[](std::size_t i) const { return cubes_[i]; }
+  Cube& operator[](std::size_t i) { return cubes_[i]; }
+  auto begin() const { return cubes_.begin(); }
+  auto end() const { return cubes_.end(); }
+
+  void erase(std::size_t i) { cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i)); }
+
+  /// True if some cube feeding output `o` covers minterm `code`.
+  bool covers(std::uint64_t code, int o) const;
+
+  /// Indices of cubes feeding output `o` that cover minterm `code`.
+  std::vector<std::size_t> covering_cubes(std::uint64_t code, int o) const;
+
+  /// Total number of input literals over all cubes.
+  int literal_count() const;
+
+  /// Number of distinct product terms used by output `o`.
+  int cube_count_for_output(int o) const;
+
+  /// Drop cubes whose output part is empty and cubes contained in another
+  /// cube of the cover; sorts cubes into a canonical order.
+  void remove_contained();
+
+  std::string to_string() const;
+
+ private:
+  int num_inputs_;
+  int num_outputs_;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace nshot::logic

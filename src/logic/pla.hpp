@@ -1,0 +1,30 @@
+// Minimal PLA (espresso input format) reader/writer.
+//
+// Supported directives: .i, .o, .p (ignored), .ilb/.ob (names, optional),
+// .e/.end.  Each row is an input pattern over {0,1,-} followed by an output
+// pattern over {1,0,-} with "fd" semantics: '1' adds the minterms of the
+// input cube to the on-set, '0' to the off-set, '-' to the don't-care set.
+// Rows may use cubes (with '-'), which are expanded to minterms; the total
+// expansion is capped to keep pathological files from exploding.
+#pragma once
+
+#include <string>
+
+#include "logic/cover.hpp"
+#include "logic/spec.hpp"
+
+namespace nshot::logic {
+
+struct PlaFile {
+  TwoLevelSpec spec;
+  std::vector<std::string> input_names;   // may be empty
+  std::vector<std::string> output_names;  // may be empty
+};
+
+/// Parse PLA text; throws nshot::Error on malformed input.
+PlaFile parse_pla(const std::string& text);
+
+/// Render a cover as PLA text (on-set only, type fr-style rows).
+std::string write_pla(const Cover& cover);
+
+}  // namespace nshot::logic

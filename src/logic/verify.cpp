@@ -1,0 +1,43 @@
+#include "logic/verify.hpp"
+
+namespace nshot::logic {
+
+VerifyResult verify_cover(const TwoLevelSpec& spec, const Cover& cover) {
+  for (int o = 0; o < spec.num_outputs(); ++o) {
+    for (const std::uint64_t code : spec.on(o)) {
+      if (!cover.covers(code, o))
+        return {false, "on-minterm " + std::to_string(code) + " of output " + std::to_string(o) +
+                           " is not covered"};
+    }
+    for (const std::uint64_t code : spec.off(o)) {
+      if (cover.covers(code, o))
+        return {false, "off-minterm " + std::to_string(code) + " of output " + std::to_string(o) +
+                           " is covered"};
+    }
+  }
+  return {};
+}
+
+VerifyResult verify_irredundant(const TwoLevelSpec& spec, const Cover& cover) {
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    bool needed = false;
+    for (int o = 0; o < spec.num_outputs() && !needed; ++o) {
+      if (!cover[i].has_output(o)) continue;
+      for (const std::uint64_t code : spec.on(o)) {
+        if (!cover[i].covers_minterm(code)) continue;
+        bool elsewhere = false;
+        for (std::size_t j = 0; j < cover.size() && !elsewhere; ++j)
+          elsewhere = j != i && cover[j].has_output(o) && cover[j].covers_minterm(code);
+        if (!elsewhere) {
+          needed = true;
+          break;
+        }
+      }
+    }
+    if (!needed)
+      return {false, "cube " + std::to_string(i) + " (" + cover[i].to_string() + ") is redundant"};
+  }
+  return {};
+}
+
+}  // namespace nshot::logic

@@ -1,0 +1,210 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace nshot::netlist {
+
+using gatelib::GateLibrary;
+using gatelib::GateType;
+
+NetId Netlist::add_net(const std::string& name) {
+  NSHOT_REQUIRE(!find_net(name).has_value(), "duplicate net name " + name);
+  net_names_.push_back(name);
+  return static_cast<NetId>(net_names_.size() - 1);
+}
+
+GateId Netlist::add_gate(Gate gate) {
+  NSHOT_REQUIRE(!gate.outputs.empty(), "gate " + gate.name + " has no output");
+  NSHOT_REQUIRE(gate.inverted.empty() || gate.inverted.size() == gate.inputs.size(),
+                "gate " + gate.name + " inversion flags do not match inputs");
+  for (const NetId n : gate.inputs)
+    NSHOT_REQUIRE(n >= 0 && n < num_nets(), "gate " + gate.name + " reads an unknown net");
+  for (const NetId n : gate.outputs)
+    NSHOT_REQUIRE(n >= 0 && n < num_nets(), "gate " + gate.name + " drives an unknown net");
+  gates_.push_back(std::move(gate));
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+void Netlist::add_primary_input(NetId net) {
+  NSHOT_REQUIRE(net >= 0 && net < num_nets(), "primary input net unknown");
+  primary_inputs_.push_back(net);
+}
+
+void Netlist::add_primary_output(NetId net) {
+  NSHOT_REQUIRE(net >= 0 && net < num_nets(), "primary output net unknown");
+  primary_outputs_.push_back(net);
+}
+
+NetId Netlist::build_tree(GateType type, const std::vector<NetId>& inputs,
+                          const std::vector<bool>& inverted, const std::string& name_prefix,
+                          bool force_gate) {
+  NSHOT_REQUIRE(type == GateType::kAnd || type == GateType::kOr,
+                "build_tree supports AND/OR only");
+  NSHOT_REQUIRE(!inputs.empty(), "build_tree needs at least one input");
+  NSHOT_REQUIRE(inverted.empty() || inverted.size() == inputs.size(),
+                "build_tree inversion flags do not match inputs");
+
+  const int max_fanin = GateLibrary::standard().max_fanin();
+  const bool any_inverted =
+      std::any_of(inverted.begin(), inverted.end(), [](bool b) { return b; });
+
+  if (inputs.size() == 1 && !any_inverted && !force_gate) return inputs[0];
+
+  if (static_cast<int>(inputs.size()) <= max_fanin) {
+    const NetId out = add_net(name_prefix + "_out");
+    add_gate(Gate{.type = inputs.size() == 1 && any_inverted ? GateType::kInv : type,
+                  .name = name_prefix,
+                  .inputs = inputs,
+                  .inverted = inputs.size() == 1 && any_inverted ? std::vector<bool>{}
+                                                                 : inverted,
+                  .outputs = {out}});
+    return out;
+  }
+
+  // Split into max-fanin chunks, then combine the chunk outputs.
+  std::vector<NetId> level_nets;
+  int chunk_index = 0;
+  for (std::size_t begin = 0; begin < inputs.size(); begin += static_cast<std::size_t>(max_fanin)) {
+    const std::size_t end = std::min(inputs.size(), begin + static_cast<std::size_t>(max_fanin));
+    const std::vector<NetId> chunk(inputs.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   inputs.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<bool> chunk_inv;
+    if (!inverted.empty())
+      chunk_inv.assign(inverted.begin() + static_cast<std::ptrdiff_t>(begin),
+                       inverted.begin() + static_cast<std::ptrdiff_t>(end));
+    level_nets.push_back(build_tree(type, chunk, chunk_inv,
+                                    name_prefix + "_c" + std::to_string(chunk_index++),
+                                    /*force_gate=*/true));
+  }
+  return build_tree(type, level_nets, {}, name_prefix + "_m", /*force_gate=*/true);
+}
+
+std::optional<NetId> Netlist::find_net(const std::string& name) const {
+  for (std::size_t i = 0; i < net_names_.size(); ++i)
+    if (net_names_[i] == name) return static_cast<NetId>(i);
+  return std::nullopt;
+}
+
+std::optional<GateId> Netlist::driver(NetId net) const {
+  for (std::size_t g = 0; g < gates_.size(); ++g)
+    for (const NetId out : gates_[g].outputs)
+      if (out == net) return static_cast<GateId>(g);
+  return std::nullopt;
+}
+
+void Netlist::check_well_formed() const {
+  std::vector<int> driver_count(static_cast<std::size_t>(num_nets()), 0);
+  for (const Gate& g : gates_)
+    for (const NetId out : g.outputs) ++driver_count[static_cast<std::size_t>(out)];
+  for (const NetId pi : primary_inputs_) ++driver_count[static_cast<std::size_t>(pi)];
+  for (NetId n = 0; n < num_nets(); ++n)
+    NSHOT_REQUIRE(driver_count[static_cast<std::size_t>(n)] <= 1,
+                  "net " + net_name(n) + " has multiple drivers");
+  for (const Gate& g : gates_)
+    for (const NetId in : g.inputs)
+      NSHOT_REQUIRE(driver_count[static_cast<std::size_t>(in)] == 1,
+                    "gate " + g.name + " reads undriven net " + net_name(in));
+}
+
+NetlistStats Netlist::stats(const GateLibrary& lib) const {
+  NetlistStats stats;
+  for (const Gate& g : gates_) {
+    const bool explicit_delay_cell =
+        g.type == GateType::kDelayLine || g.type == GateType::kInertialDelay;
+    stats.area += explicit_delay_cell ? lib.area(g.type, 1)
+                                      : lib.area(g.type, static_cast<int>(g.inputs.size()));
+    ++stats.gate_count;
+    if (g.type == GateType::kAnd || g.type == GateType::kOr)
+      stats.literal_count += static_cast<int>(g.inputs.size());
+  }
+
+  // Longest-path analysis on the combinational DAG obtained by cutting
+  // storage-element and feedback outputs.
+  std::vector<double> arrival(static_cast<std::size_t>(num_nets()), -1.0);
+  for (const NetId pi : primary_inputs_) arrival[static_cast<std::size_t>(pi)] = 0.0;
+  for (const Gate& g : gates_)
+    if (is_storage(g.type) || g.feedback_cut)
+      for (const NetId out : g.outputs) arrival[static_cast<std::size_t>(out)] = 0.0;
+
+  std::vector<const Gate*> pending;
+  for (const Gate& g : gates_)
+    if (!is_storage(g.type) && !g.feedback_cut) pending.push_back(&g);
+
+  bool progress = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<const Gate*> still_pending;
+    for (const Gate* g : pending) {
+      double worst = 0.0;
+      bool ready = true;
+      for (const NetId in : g->inputs) {
+        const double a = arrival[static_cast<std::size_t>(in)];
+        if (a < 0.0) {
+          ready = false;
+          break;
+        }
+        worst = std::max(worst, a);
+      }
+      if (!ready) {
+        still_pending.push_back(g);
+        continue;
+      }
+      const bool explicit_delay_cell =
+          g->type == GateType::kDelayLine || g->type == GateType::kInertialDelay;
+      const double out_time =
+          worst + (explicit_delay_cell ? g->explicit_delay : lib.report_delay(g->type));
+      for (const NetId out : g->outputs)
+        arrival[static_cast<std::size_t>(out)] = std::max(arrival[static_cast<std::size_t>(out)],
+                                                          out_time);
+      progress = true;
+    }
+    pending = std::move(still_pending);
+  }
+  NSHOT_REQUIRE(pending.empty(),
+                "netlist " + name_ + " contains an unmarked combinational cycle");
+
+  double delay = 0.0;
+  for (const Gate& g : gates_) {
+    if (!is_storage(g.type) && !g.feedback_cut) continue;
+    double input_arrival = 0.0;
+    for (const NetId in : g.inputs)
+      input_arrival = std::max(input_arrival, std::max(0.0, arrival[static_cast<std::size_t>(in)]));
+    const bool explicit_cell =
+        g.type == GateType::kDelayLine || g.type == GateType::kInertialDelay;
+    delay = std::max(delay,
+                     input_arrival + (explicit_cell ? g.explicit_delay : lib.report_delay(g.type)));
+  }
+  for (const NetId po : primary_outputs_)
+    delay = std::max(delay, std::max(0.0, arrival[static_cast<std::size_t>(po)]));
+  stats.delay = delay;
+  return stats;
+}
+
+std::string Netlist::to_string() const {
+  std::string text = "netlist " + name_ + "\n";
+  text += "  inputs:";
+  for (const NetId n : primary_inputs_) text += " " + net_name(n);
+  text += "\n  outputs:";
+  for (const NetId n : primary_outputs_) text += " " + net_name(n);
+  text += "\n";
+  for (const Gate& g : gates_) {
+    text += "  " + std::string(gatelib::gate_type_name(g.type)) + " " + g.name + ": ";
+    for (std::size_t o = 0; o < g.outputs.size(); ++o)
+      text += (o ? ", " : "") + net_name(g.outputs[o]);
+    text += " <= ";
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      text += (i ? ", " : "");
+      if (g.input_inverted(i)) text += "!";
+      text += net_name(g.inputs[i]);
+    }
+    if (g.type == GateType::kDelayLine || g.type == GateType::kInertialDelay)
+      text += " (delay " + std::to_string(g.explicit_delay) + ")";
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace nshot::netlist

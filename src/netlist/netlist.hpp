@@ -1,0 +1,94 @@
+// Gate-level netlist: the output of all synthesizers and the input of the
+// event-driven simulator and the area/delay reporters.
+//
+// Nets are named single-driver wires.  Gates reference nets by id; AND/OR
+// gates carry per-input inversion bubbles.  The MHS flip-flop is a cell
+// with two inputs (set, reset) and two outputs (q, qb — it is dual-rail
+// encoded).  Delay lines carry an explicit delay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gatelib/gate_library.hpp"
+
+namespace nshot::netlist {
+
+using NetId = int;
+using GateId = int;
+
+struct Gate {
+  gatelib::GateType type = gatelib::GateType::kBuf;
+  std::string name;
+  std::vector<NetId> inputs;
+  std::vector<bool> inverted;  // parallel to inputs; empty = no inversions
+  std::vector<NetId> outputs;  // 1 for simple gates, {q, qb} for the MHS
+  double explicit_delay = 0.0; // used by kDelayLine only
+  /// Treat the outputs as level/path sources even for combinational types
+  /// (used for the fed-back state wires of the SIS-like baseline).
+  bool feedback_cut = false;
+
+  bool input_inverted(std::size_t i) const { return !inverted.empty() && inverted[i]; }
+};
+
+/// Area/delay summary in the report model of the gate library.
+struct NetlistStats {
+  double area = 0.0;
+  double delay = 0.0;  // worst signal response (level-quantized)
+  int gate_count = 0;
+  int literal_count = 0;  // total AND/OR input pins
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction -------------------------------------------------------
+  NetId add_net(const std::string& name);
+  GateId add_gate(Gate gate);
+  void add_primary_input(NetId net);
+  void add_primary_output(NetId net);
+
+  /// Build an AND/OR tree for `inputs` honoring the library's max fanin;
+  /// returns the output net.  Single-input trees degenerate to a direct
+  /// connection (no gate inserted) unless `force_gate` is set.
+  NetId build_tree(gatelib::GateType type, const std::vector<NetId>& inputs,
+                   const std::vector<bool>& inverted, const std::string& name_prefix,
+                   bool force_gate = false);
+
+  // --- access -------------------------------------------------------------
+  int num_nets() const { return static_cast<int>(net_names_.size()); }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const std::string& net_name(NetId n) const { return net_names_[static_cast<std::size_t>(n)]; }
+  const Gate& gate(GateId g) const { return gates_[static_cast<std::size_t>(g)]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<NetId>& primary_inputs() const { return primary_inputs_; }
+  const std::vector<NetId>& primary_outputs() const { return primary_outputs_; }
+  std::optional<NetId> find_net(const std::string& name) const;
+  /// The gate driving `net`, if any.
+  std::optional<GateId> driver(NetId net) const;
+
+  /// Throws if a net has multiple drivers or a gate reads an undriven,
+  /// non-primary-input net.
+  void check_well_formed() const;
+
+  /// Area, level-quantized critical delay, and gate statistics.
+  NetlistStats stats(const gatelib::GateLibrary& lib) const;
+
+  /// Human-readable structural dump.
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> net_names_;
+  std::vector<Gate> gates_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+};
+
+}  // namespace nshot::netlist

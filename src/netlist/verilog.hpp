@@ -1,0 +1,22 @@
+// Structural Verilog writer for synthesized netlists.
+//
+// The paper's industrial designs were validated by gate-level VERILOG
+// simulation (Section V).  This writer emits a self-contained file: one
+// structural module for the design plus behavioural primitive modules for
+// the library cells (AND/OR with inversion bubbles are expanded inline;
+// the MHS flip-flop, C-element, RS latch and delay elements get dedicated
+// modules with parametrized delays matching the gate library's report
+// model), so the output can be fed to any Verilog simulator.
+#pragma once
+
+#include <string>
+
+#include "gatelib/gate_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace nshot::netlist {
+
+/// Render `nl` as a self-contained Verilog file.
+std::string write_verilog(const Netlist& nl, const gatelib::GateLibrary& lib);
+
+}  // namespace nshot::netlist

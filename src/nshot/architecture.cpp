@@ -1,0 +1,162 @@
+#include "nshot/architecture.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace nshot::core {
+
+using gatelib::GateType;
+using netlist::Gate;
+using netlist::NetId;
+using netlist::Netlist;
+
+InitInfo analyze_initialization(const sg::StateGraph& sg, sg::SignalId a,
+                                const logic::Cover& cover, const OutputIndex& index) {
+  const sg::StateId s0 = sg.initial();
+  NSHOT_REQUIRE(s0 >= 0, "state graph has no initial state");
+  InitInfo info;
+  info.value = sg.value(s0, a);
+  const std::uint64_t code = sg.code(s0);
+  switch (classify_state(sg, s0, a)) {
+    case Mode::kSet:
+    case Mode::kReset:
+      // The excited SOP drives the flip-flop to the correct value.
+      info.explicit_reset = false;
+      break;
+    case Mode::kQuiescentHigh:
+      // Needs a reset-to-1 term unless the set SOP happens to be 1 in s0
+      // (the don't-care assignment may or may not cover it).
+      info.explicit_reset = !cover.covers(code, index.set_output);
+      break;
+    case Mode::kQuiescentLow:
+      info.explicit_reset = !cover.covers(code, index.reset_output);
+      break;
+  }
+  return info;
+}
+
+netlist::Netlist build_nshot_netlist(const sg::StateGraph& sg, const DerivedSpec& derived,
+                                     const logic::Cover& cover,
+                                     const std::vector<DelayRequirement>& delays,
+                                     const ArchitectureOptions& options) {
+  NSHOT_REQUIRE(delays.size() == derived.outputs.size(),
+                "one DelayRequirement per non-input signal expected");
+  Netlist nl(sg.name());
+
+  // Signal rails: q net per signal; qb net for non-input signals.
+  std::vector<NetId> rail_q(static_cast<std::size_t>(sg.num_signals()), -1);
+  std::vector<NetId> rail_qb(static_cast<std::size_t>(sg.num_signals()), -1);
+  for (int x = 0; x < sg.num_signals(); ++x) {
+    rail_q[static_cast<std::size_t>(x)] = nl.add_net(sg.signal(x).name);
+    if (sg.is_input(x)) {
+      nl.add_primary_input(rail_q[static_cast<std::size_t>(x)]);
+    } else {
+      rail_qb[static_cast<std::size_t>(x)] = nl.add_net(sg.signal(x).name + "_b");
+      nl.add_primary_output(rail_q[static_cast<std::size_t>(x)]);
+    }
+  }
+
+  // Constant rails for degenerate covers: const1 for literal-free cubes,
+  // const0 for empty set/reset functions (a function with no cubes must
+  // never excite the flip-flop).  Both are modelled as primary inputs the
+  // environment holds at a fixed value.
+  std::optional<NetId> const_one, const_zero;
+  auto get_const_one = [&]() {
+    if (!const_one) {
+      const_one = nl.add_net("const1");
+      nl.add_primary_input(*const_one);
+    }
+    return *const_one;
+  };
+  auto get_const_zero = [&]() {
+    if (!const_zero) {
+      const_zero = nl.add_net("const0");
+      nl.add_primary_input(*const_zero);
+    }
+    return *const_zero;
+  };
+
+  // Shared AND plane: one gate per cube (cubes with several outputs are
+  // instantiated once and fan out to every OR tree).
+  std::vector<NetId> cube_nets(cover.size(), -1);
+  for (std::size_t c = 0; c < cover.size(); ++c) {
+    const logic::Cube& cube = cover[c];
+    std::vector<NetId> ins;
+    std::vector<bool> inv;
+    for (int x = 0; x < sg.num_signals(); ++x) {
+      if (cube.var_is_free(x)) continue;
+      const bool positive = (cube.hi() >> x) & 1ULL;
+      if (positive) {
+        ins.push_back(rail_q[static_cast<std::size_t>(x)]);
+        inv.push_back(false);
+      } else if (!sg.is_input(x)) {
+        ins.push_back(rail_qb[static_cast<std::size_t>(x)]);  // dual rail: free complement
+        inv.push_back(false);
+      } else {
+        ins.push_back(rail_q[static_cast<std::size_t>(x)]);
+        inv.push_back(true);  // inversion bubble on the AND input
+      }
+    }
+    if (ins.empty()) {
+      cube_nets[c] = get_const_one();
+      continue;
+    }
+    cube_nets[c] =
+        nl.build_tree(GateType::kAnd, ins, inv, "and" + std::to_string(c), /*force_gate=*/true);
+  }
+
+  // Per-signal OR trees, acknowledgement gates and MHS flip-flop.
+  for (std::size_t k = 0; k < derived.outputs.size(); ++k) {
+    const OutputIndex& index = derived.outputs[k];
+    const std::string base = sg.signal(index.signal).name;
+    const NetId q = rail_q[static_cast<std::size_t>(index.signal)];
+    const NetId qb = rail_qb[static_cast<std::size_t>(index.signal)];
+
+    auto or_plane = [&](int output, const std::string& suffix) -> NetId {
+      std::vector<NetId> cubes;
+      for (std::size_t c = 0; c < cover.size(); ++c)
+        if (cover[c].has_output(output)) cubes.push_back(cube_nets[c]);
+      if (cubes.empty()) return get_const_zero();  // empty function: never fires
+      if (cubes.size() == 1) return cubes[0];
+      return nl.build_tree(GateType::kOr, cubes, {}, base + "_or_" + suffix,
+                           /*force_gate=*/true);
+    };
+    const NetId set_sop = or_plane(index.set_output, "set");
+    const NetId reset_sop = or_plane(index.reset_output, "reset");
+
+    // Enable rails: enable_set follows qb (a must be 0 again before new set
+    // pulses may pass), enable_reset follows q; a delay line is inserted
+    // when Eq. 1 requires compensation.
+    const DelayRequirement& req = delays[k];
+    NetId enable_set = qb;
+    NetId enable_reset = q;
+    if (options.insert_delay_lines && req.compensation_needed()) {
+      enable_set = nl.add_net(base + "_ens");
+      nl.add_gate(Gate{.type = GateType::kDelayLine,
+                       .name = base + "_dl_set",
+                       .inputs = {qb},
+                       .outputs = {enable_set},
+                       .explicit_delay = req.t_del});
+      enable_reset = nl.add_net(base + "_enr");
+      nl.add_gate(Gate{.type = GateType::kDelayLine,
+                       .name = base + "_dl_reset",
+                       .inputs = {q},
+                       .outputs = {enable_reset},
+                       .explicit_delay = req.t_del});
+    }
+
+    // The MHS cell integrates the two acknowledgement AND gates (Figure 5
+    // shows the custom cell with the acknowledgement scheme): the effective
+    // excitations are set & enable_set and reset & enable_reset.
+    nl.add_gate(Gate{.type = GateType::kMhsFlipFlop,
+                     .name = base + "_mhs",
+                     .inputs = {set_sop, reset_sop, enable_set, enable_reset},
+                     .outputs = {q, qb}});
+  }
+
+  nl.check_well_formed();
+  return nl;
+}
+
+}  // namespace nshot::core

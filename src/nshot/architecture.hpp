@@ -1,0 +1,52 @@
+// Mapping of minimized set/reset covers onto the N-SHOT architecture
+// (Figure 3 of the paper).
+//
+// Per non-input signal a the circuit contains:
+//   * the shared AND plane (one AND gate per cube; cubes shared between
+//     outputs are instantiated once),
+//   * an OR tree per set/reset function,
+//   * the two acknowledgement AND gates: gated_set = set_sop & enable_set,
+//     gated_reset = reset_sop & enable_reset, where enable_set is derived
+//     from the qb rail of the MHS flip-flop (optionally through the local
+//     delay compensation line) and enable_reset from the q rail,
+//   * one MHS flip-flop with dual-rail outputs a (q) and a_b (qb).
+//
+// Negative literals of non-input signals use the qb rail directly (the
+// flip-flop is dual-rail encoded, so no inverter is needed); negative
+// literals of input signals use the inversion bubble of the AND gate (the
+// paper assumes AND gates with input inversions as basic gates).
+#pragma once
+
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "netlist/netlist.hpp"
+#include "nshot/delay_requirement.hpp"
+#include "nshot/spec_derivation.hpp"
+#include "sg/state_graph.hpp"
+
+namespace nshot::core {
+
+struct ArchitectureOptions {
+  /// Insert the local delay compensation line when Eq. 1 requires it.
+  bool insert_delay_lines = true;
+};
+
+/// Initialization analysis of one MHS flip-flop (Section IV-F).
+struct InitInfo {
+  bool value = false;     // required initial output value (value of a in s0)
+  bool explicit_reset = false;  // an explicit reset product term is needed
+};
+
+InitInfo analyze_initialization(const sg::StateGraph& sg, sg::SignalId a,
+                                const logic::Cover& cover, const OutputIndex& index);
+
+/// Build the complete N-SHOT netlist for `sg` from the minimized joint
+/// cover.  `delays` holds the per-signal Eq. 1 results, in the order of
+/// derived.outputs.
+netlist::Netlist build_nshot_netlist(const sg::StateGraph& sg, const DerivedSpec& derived,
+                                     const logic::Cover& cover,
+                                     const std::vector<DelayRequirement>& delays,
+                                     const ArchitectureOptions& options = {});
+
+}  // namespace nshot::core

@@ -1,0 +1,53 @@
+#include "nshot/delay_requirement.hpp"
+
+#include <algorithm>
+
+namespace nshot::core {
+namespace {
+
+/// Depth of a balanced tree with `leaves` leaves and the library fanin.
+int tree_depth(int leaves, int max_fanin) {
+  if (leaves <= 1) return leaves;  // 0 leaves: no gate; 1 leaf: one gate
+  int depth = 0;
+  int width = leaves;
+  while (width > 1) {
+    width = (width + max_fanin - 1) / max_fanin;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+int sop_levels(const logic::Cover& cover, int output, const gatelib::GateLibrary& lib) {
+  int cube_count = 0;
+  int worst_and_depth = 0;
+  for (const logic::Cube& cube : cover) {
+    if (!cube.has_output(output)) continue;
+    ++cube_count;
+    worst_and_depth = std::max(worst_and_depth, tree_depth(cube.literal_count(), lib.max_fanin()));
+  }
+  if (cube_count == 0) return 0;                       // constant function
+  return worst_and_depth + tree_depth(cube_count, lib.max_fanin()) -
+         (cube_count == 1 ? 1 : 0);  // single cube: no OR tree
+}
+
+DelayRequirement compute_delay_requirement(int set_levels, int reset_levels,
+                                           const gatelib::GateLibrary& lib) {
+  DelayRequirement req;
+  req.set_levels = set_levels;
+  req.reset_levels = reset_levels;
+
+  const gatelib::GateTiming gate = lib.timing(gatelib::GateType::kAnd, 2);
+  req.t_set0_worst = set_levels * gate.max_delay;
+  req.t_set1_fast = set_levels * gate.min_delay;
+  req.t_res0_worst = reset_levels * gate.max_delay;
+  req.t_res1_fast = reset_levels * gate.min_delay;
+  req.t_mhs = lib.mhs_response();
+
+  req.t_del = std::max(req.t_set0_worst - req.t_res1_fast - req.t_mhs,
+                       req.t_res0_worst - req.t_set1_fast - req.t_mhs);
+  return req;
+}
+
+}  // namespace nshot::core

@@ -1,0 +1,39 @@
+// The delay requirement of the acknowledgement scheme (Section IV-C, Eq. 1):
+//
+//   t_del >= MAX{ t_set0w - t_res1f - t_mhs-,  t_res0w - t_set1f - t_mhs+ }
+//
+// where t_set0w (t_res0w) is the worst-case settle-to-0 time through the
+// set (reset) SOP, t_res1f (t_set1f) the fastest propagate-to-1 time, and
+// t_mhs± the response of the MHS flip-flop.  When the MAX is non-positive
+// no delay line is needed (the paper reports this was the case for every
+// benchmark tested).
+#pragma once
+
+#include "gatelib/gate_library.hpp"
+#include "logic/cover.hpp"
+
+namespace nshot::core {
+
+struct DelayRequirement {
+  int set_levels = 0;    // logic depth of the set SOP (AND + OR tree)
+  int reset_levels = 0;  // logic depth of the reset SOP
+  double t_set0_worst = 0.0;
+  double t_res1_fast = 0.0;
+  double t_res0_worst = 0.0;
+  double t_set1_fast = 0.0;
+  double t_mhs = 0.0;
+  double t_del = 0.0;  // required compensation; <= 0 means none needed
+
+  bool compensation_needed() const { return t_del > 0.0; }
+};
+
+/// Logic depth of the SOP network of `output` in `cover`: one AND level
+/// (deeper if a product exceeds the library fanin) plus an OR tree over the
+/// cubes of the output (absent for a single cube).
+int sop_levels(const logic::Cover& cover, int output, const gatelib::GateLibrary& lib);
+
+/// Evaluate Eq. 1 for a signal whose set/reset SOPs have the given depths.
+DelayRequirement compute_delay_requirement(int set_levels, int reset_levels,
+                                           const gatelib::GateLibrary& lib);
+
+}  // namespace nshot::core

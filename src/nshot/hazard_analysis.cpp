@@ -1,0 +1,48 @@
+#include "nshot/hazard_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nshot::core {
+
+std::vector<StaticOneHazard> static_one_hazards(const sg::StateGraph& graph,
+                                                const logic::TwoLevelSpec& spec,
+                                                const logic::Cover& cover, int output) {
+  std::vector<StaticOneHazard> sites;
+  const auto& on = spec.on(output);
+  for (sg::StateId s = 0; s < graph.num_states(); ++s) {
+    const std::uint64_t code_s = graph.code(s);
+    if (!std::binary_search(on.begin(), on.end(), code_s)) continue;
+    for (const sg::Edge& e : graph.out_edges(s)) {
+      const std::uint64_t code_t = graph.code(e.target);
+      if (!std::binary_search(on.begin(), on.end(), code_t)) continue;
+      bool single_cube = false;
+      for (const logic::Cube& cube : cover) {
+        if (cube.has_output(output) && cube.covers_minterm(code_s) &&
+            cube.covers_minterm(code_t)) {
+          single_cube = true;
+          break;
+        }
+      }
+      if (!single_cube) sites.push_back(StaticOneHazard{output, s, e.target, e.label});
+    }
+  }
+  return sites;
+}
+
+int sop_activity_edges(const sg::StateGraph& graph, const logic::Cover& cover, int output,
+                       const sg::ExcitationRegion& er) {
+  std::set<sg::StateId> region(er.states.begin(), er.states.end());
+  region.insert(er.quiescent.begin(), er.quiescent.end());
+  int changes = 0;
+  for (const sg::StateId s : region) {
+    const bool value_s = cover.covers(graph.code(s), output);
+    for (const sg::Edge& e : graph.out_edges(s)) {
+      if (!region.contains(e.target)) continue;
+      if (cover.covers(graph.code(e.target), output) != value_s) ++changes;
+    }
+  }
+  return changes;
+}
+
+}  // namespace nshot::core

@@ -1,0 +1,42 @@
+// Static hazard analysis of two-level covers against state-graph
+// transitions — the machinery that quantifies the paper's starting point:
+// covers produced by a conventional minimizer are hazardous, and prior
+// methods either constrain the cover (monotonous covers), mask the
+// hazards with delays (bounded-delay), or — the paper's move — tolerate
+// them in the storage element.
+#pragma once
+
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "logic/spec.hpp"
+#include "sg/regions.hpp"
+#include "sg/state_graph.hpp"
+
+namespace nshot::core {
+
+/// A single-input-change static-1 hazard site: a specified arc s -> t with
+/// f(s) = f(t) = 1 that no single cube covers end-to-end, so the OR output
+/// may glitch low while the covering cube hands over.
+struct StaticOneHazard {
+  int output = -1;
+  sg::StateId from = -1;
+  sg::StateId to = -1;
+  sg::TransitionLabel via;
+};
+
+/// All static-1 hazard sites of `output` in `cover`, using `spec` for the
+/// on-set membership and `graph` for the specified transitions.
+std::vector<StaticOneHazard> static_one_hazards(const sg::StateGraph& graph,
+                                                const logic::TwoLevelSpec& spec,
+                                                const logic::Cover& cover, int output);
+
+/// Number of specified arcs inside ER(*a_i) u QR(*a_i) on which the SOP
+/// value of `output` changes.  A monotonous cover changes at most once
+/// per arc-chain (rise in the ER, one fall in the QR); a conventional
+/// don't-care-optimized cover may toggle many times — these are the pulse
+/// streams of Figure 3 that the MHS flip-flop absorbs.
+int sop_activity_edges(const sg::StateGraph& graph, const logic::Cover& cover, int output,
+                       const sg::ExcitationRegion& er);
+
+}  // namespace nshot::core

@@ -1,0 +1,70 @@
+#include "nshot/spec_derivation.hpp"
+
+#include "util/error.hpp"
+
+namespace nshot::core {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kSet: return "+a (set)";
+    case Mode::kQuiescentHigh: return "a=1 (quiescent)";
+    case Mode::kReset: return "-a (reset)";
+    case Mode::kQuiescentLow: return "a=0 (quiescent)";
+  }
+  return "?";
+}
+
+Mode classify_state(const sg::StateGraph& sg, sg::StateId s, sg::SignalId a) {
+  NSHOT_REQUIRE(!sg.is_input(a), "classification is defined for non-input signals");
+  const bool value = sg.value(s, a);
+  const bool excited = sg.excited(s, a);
+  if (excited) return value ? Mode::kReset : Mode::kSet;
+  return value ? Mode::kQuiescentHigh : Mode::kQuiescentLow;
+}
+
+const OutputIndex& DerivedSpec::for_signal(sg::SignalId a) const {
+  for (const OutputIndex& index : outputs)
+    if (index.signal == a) return index;
+  NSHOT_REQUIRE(false, "signal has no derived outputs (is it an input?)");
+  // Unreachable; silences the compiler.
+  return outputs.front();
+}
+
+DerivedSpec derive_spec(const sg::StateGraph& sg) {
+  const std::vector<sg::SignalId> noninputs = sg.noninput_signals();
+  NSHOT_REQUIRE(!noninputs.empty(), "state graph has no non-input signals to synthesize");
+
+  DerivedSpec derived{logic::TwoLevelSpec(sg.num_signals(),
+                                          static_cast<int>(noninputs.size()) * 2),
+                      {}};
+  for (std::size_t k = 0; k < noninputs.size(); ++k)
+    derived.outputs.push_back(OutputIndex{noninputs[k], static_cast<int>(2 * k),
+                                          static_cast<int>(2 * k + 1)});
+
+  for (sg::StateId s = 0; s < sg.num_states(); ++s) {
+    const std::uint64_t code = sg.code(s);
+    for (const OutputIndex& index : derived.outputs) {
+      switch (classify_state(sg, s, index.signal)) {
+        case Mode::kSet:  // SET = 1, RESET = 0
+          derived.spec.add_on(index.set_output, code);
+          derived.spec.add_off(index.reset_output, code);
+          break;
+        case Mode::kQuiescentHigh:  // SET = don't care, RESET = 0
+          derived.spec.add_off(index.reset_output, code);
+          break;
+        case Mode::kReset:  // SET = 0, RESET = 1
+          derived.spec.add_off(index.set_output, code);
+          derived.spec.add_on(index.reset_output, code);
+          break;
+        case Mode::kQuiescentLow:  // SET = 0, RESET = don't care
+          derived.spec.add_off(index.set_output, code);
+          break;
+      }
+    }
+  }
+  derived.spec.normalize();
+  derived.spec.validate();  // fails only if CSC is violated
+  return derived;
+}
+
+}  // namespace nshot::core

@@ -1,0 +1,58 @@
+// Derivation of the set/reset logic specifications from the state graph
+// (Section IV-A, steps 1-5, and Table 1).
+//
+// For a non-input signal a:
+//   set function:   F = U ER(+a_i)                 (a = 0, excited)
+//                   D = U QR(+a_i) + unreachable   (a = 1, stable)
+//                   R = U ER(-a_i) + U QR(-a_i)
+//   reset function: symmetric.
+//
+// Because reachable states are classified by the excitation status of `a`
+// and its value only, the classification is a total function of the state;
+// the CSC property guarantees that states sharing a binary code classify
+// identically, so the (F, D, R) sets handed to the minimizer are well
+// defined on codes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/spec.hpp"
+#include "sg/state_graph.hpp"
+
+namespace nshot::core {
+
+/// Operating mode of the MHS flip-flop in a state (the rows of Table 1).
+enum class Mode {
+  kSet,            // s in ER(+a): SET = 1, RESET = 0
+  kQuiescentHigh,  // s in QR(+a): SET = don't care, RESET = 0
+  kReset,          // s in ER(-a): SET = 0, RESET = 1
+  kQuiescentLow,   // s in QR(-a): SET = 0, RESET = don't care
+};
+
+const char* mode_name(Mode mode);
+
+/// Table-1 classification of state `s` for non-input signal `a`.
+Mode classify_state(const sg::StateGraph& sg, sg::StateId s, sg::SignalId a);
+
+/// Output indices of signal `a` inside the joint specification: the set
+/// function of the k-th non-input signal is output 2k, its reset function
+/// output 2k+1.
+struct OutputIndex {
+  sg::SignalId signal = -1;
+  int set_output = -1;
+  int reset_output = -1;
+};
+
+/// The joint (F, D, R) specification of all set and reset functions over
+/// the signal space of the SG, plus the signal-to-output mapping.
+struct DerivedSpec {
+  logic::TwoLevelSpec spec;
+  std::vector<OutputIndex> outputs;  // one per non-input signal, in order
+
+  const OutputIndex& for_signal(sg::SignalId a) const;
+};
+
+DerivedSpec derive_spec(const sg::StateGraph& sg);
+
+}  // namespace nshot::core

@@ -1,0 +1,75 @@
+// Top-level N-SHOT synthesis flow (Section IV-E):
+//   1. check implementability: consistency, reachability, semi-modularity
+//      with input choices, CSC (Theorem 2 preconditions);
+//   2. derive the joint set/reset (F, D, R) specification (Table 1);
+//   3. minimize with a conventional two-level minimizer (heuristic
+//      multi-output ESPRESSO loop, or exact per-output minimization);
+//   4. verify the cover against the spec (independent oracle);
+//   5. enforce the trigger requirement (Theorem 1), repairing with trigger
+//      cubes where needed;
+//   6. evaluate the delay requirement (Eq. 1) per signal;
+//   7. map onto the N-SHOT architecture (Figure 3) and analyze flip-flop
+//      initialization (Section IV-F).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "logic/espresso.hpp"
+#include "netlist/netlist.hpp"
+#include "nshot/architecture.hpp"
+#include "nshot/delay_requirement.hpp"
+#include "nshot/spec_derivation.hpp"
+#include "nshot/trigger.hpp"
+#include "sg/regions.hpp"
+#include "util/error.hpp"
+
+namespace nshot::core {
+
+/// Raised when the SG fails the preconditions of Theorem 2 (consistency,
+/// semi-modularity, CSC, or an unrepairable trigger-requirement violation).
+class SynthesisError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct SynthesisOptions {
+  /// Use exact (Quine-McCluskey + branch-and-bound) minimization per
+  /// output instead of the heuristic multi-output loop.
+  bool exact = false;
+  /// Allow AND-gate sharing across outputs (heuristic mode only).
+  bool share_products = true;
+  /// Insert delay compensation lines when Eq. 1 requires them.
+  bool insert_delay_lines = true;
+  logic::EspressoOptions espresso;
+};
+
+/// Per-signal implementation summary.
+struct SignalImplementation {
+  sg::SignalId signal = -1;
+  int set_cubes = 0;
+  int reset_cubes = 0;
+  DelayRequirement delay;
+  InitInfo init;
+};
+
+struct SynthesisResult {
+  netlist::Netlist circuit;
+  logic::Cover cover;            // joint minimized set/reset cover
+  DerivedSpec derived;           // the (F, D, R) spec and output mapping
+  std::vector<SignalImplementation> signals;
+  TriggerReport trigger;
+  netlist::NetlistStats stats;   // area/delay in the report model
+  bool single_traversal = true;  // Definition 9 (Corollary 1 applies)
+  bool delay_compensation_used = false;
+};
+
+/// Run the full flow.  Throws SynthesisError when the SG is outside the
+/// implementable class characterized by Theorem 2.
+SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& options = {});
+
+/// Human-readable synthesis report (regions, covers, Eq. 1 values, stats).
+std::string describe(const sg::StateGraph& sg, const SynthesisResult& result);
+
+}  // namespace nshot::core

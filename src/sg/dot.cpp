@@ -1,0 +1,51 @@
+#include "sg/dot.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "sg/properties.hpp"
+#include "sg/regions.hpp"
+
+namespace nshot::sg {
+
+std::string to_dot(const StateGraph& graph, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph \"" << graph.name() << "\" {\n";
+  out << "  rankdir=TB;\n  node [shape=ellipse, fontname=\"monospace\"];\n";
+
+  // Region colouring per Figure 1: up-excitation regions in one colour,
+  // down-excitation in another, quiescent regions in light shades.
+  std::vector<std::string> fill(static_cast<std::size_t>(graph.num_states()));
+  if (options.highlight_signal && !graph.is_input(*options.highlight_signal)) {
+    const SignalRegions regions = compute_regions(graph, *options.highlight_signal);
+    for (const ExcitationRegion& er : regions.regions) {
+      for (const StateId s : er.states)
+        fill[static_cast<std::size_t>(s)] = er.rising ? "lightgreen" : "lightcoral";
+      for (const StateId s : er.quiescent)
+        fill[static_cast<std::size_t>(s)] = er.rising ? "honeydew" : "mistyrose";
+    }
+  }
+
+  std::set<StateId> detonant;
+  if (options.mark_detonant) {
+    for (const SignalId a : graph.noninput_signals())
+      for (const StateId s : detonant_states(graph, a)) detonant.insert(s);
+  }
+
+  for (StateId s = 0; s < graph.num_states(); ++s) {
+    out << "  s" << s << " [label=\"" << graph.state_name(s) << "\"";
+    if (!fill[static_cast<std::size_t>(s)].empty())
+      out << ", style=filled, fillcolor=" << fill[static_cast<std::size_t>(s)];
+    if (detonant.contains(s)) out << ", peripheries=2";
+    if (s == graph.initial()) out << ", penwidth=2.5";
+    out << "];\n";
+  }
+  for (StateId s = 0; s < graph.num_states(); ++s)
+    for (const Edge& e : graph.out_edges(s))
+      out << "  s" << s << " -> s" << e.target << " [label=\"" << graph.label_name(e.label)
+          << "\"];\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace nshot::sg

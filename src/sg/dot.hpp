@@ -1,0 +1,23 @@
+// Graphviz DOT export for state graphs: states annotated with their binary
+// codes and excitation marks, region colouring for one chosen signal
+// (ER/QR as in Figure 1), and detonant-state highlighting.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sg/state_graph.hpp"
+
+namespace nshot::sg {
+
+struct DotOptions {
+  /// Colour the ER/QR regions of this non-input signal (Figure 1 style).
+  std::optional<SignalId> highlight_signal;
+  /// Mark detonant states with a double border.
+  bool mark_detonant = true;
+};
+
+/// Render the state graph as Graphviz DOT text.
+std::string to_dot(const StateGraph& graph, const DotOptions& options = {});
+
+}  // namespace nshot::sg

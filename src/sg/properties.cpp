@@ -1,0 +1,168 @@
+#include "sg/properties.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nshot::sg {
+
+std::string PropertyReport::summary() const {
+  if (violations.empty()) return "ok";
+  std::string text = std::to_string(violations.size()) + " violation(s):";
+  for (const std::string& v : violations) {
+    text += "\n  - ";
+    text += v;
+  }
+  return text;
+}
+
+PropertyReport check_consistency(const StateGraph& sg) {
+  PropertyReport report;
+  for (StateId s = 0; s < sg.num_states(); ++s) {
+    for (const Edge& e : sg.out_edges(s)) {
+      const std::uint64_t bit = 1ULL << e.label.signal;
+      const std::uint64_t expected =
+          e.label.rising ? (sg.code(s) | bit) : (sg.code(s) & ~bit);
+      const bool pre_ok = sg.value(s, e.label.signal) != e.label.rising;
+      if (!pre_ok)
+        report.violations.push_back("transition " + sg.label_name(e.label) + " from " +
+                                    sg.state_name(s) + " does not change the signal value");
+      else if (sg.code(e.target) != expected)
+        report.violations.push_back("arc " + sg.state_name(s) + " --" + sg.label_name(e.label) +
+                                    "--> " + sg.state_name(e.target) +
+                                    " has an inconsistent target code");
+    }
+  }
+  return report;
+}
+
+PropertyReport check_reachability(const StateGraph& sg) {
+  PropertyReport report;
+  if (sg.initial() < 0) {
+    report.violations.push_back("no initial state set");
+    return report;
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(sg.num_states()), false);
+  std::vector<StateId> stack{sg.initial()};
+  seen[static_cast<std::size_t>(sg.initial())] = true;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (const Edge& e : sg.out_edges(s)) {
+      if (!seen[static_cast<std::size_t>(e.target)]) {
+        seen[static_cast<std::size_t>(e.target)] = true;
+        stack.push_back(e.target);
+      }
+    }
+  }
+  for (StateId s = 0; s < sg.num_states(); ++s)
+    if (!seen[static_cast<std::size_t>(s)])
+      report.violations.push_back("state " + sg.state_name(s) + " is unreachable");
+  return report;
+}
+
+PropertyReport check_semi_modular(const StateGraph& sg) {
+  PropertyReport report;
+  for (StateId s = 0; s < sg.num_states(); ++s) {
+    const auto labels = sg.enabled_labels(s);
+    for (const TransitionLabel& t1 : labels) {
+      if (sg.is_input(t1.signal)) continue;  // only non-input transitions are protected
+      for (const TransitionLabel& t2 : labels) {
+        if (t1 == t2) continue;
+        const auto s_via_t1 = sg.successor(s, t1);
+        const auto s_via_t2 = sg.successor(s, t2);
+        NSHOT_ASSERT(s_via_t1 && s_via_t2, "enabled label without successor");
+        const auto s12 = sg.successor(*s_via_t1, t2);
+        const auto s21 = sg.successor(*s_via_t2, t1);
+        if (!s21)
+          report.violations.push_back("non-input transition " + sg.label_name(t1) +
+                                      " is disabled by " + sg.label_name(t2) + " in " +
+                                      sg.state_name(s));
+        else if (!s12 || *s12 != *s21)
+          report.violations.push_back("diamond of " + sg.label_name(t1) + " and " +
+                                      sg.label_name(t2) + " from " + sg.state_name(s) +
+                                      " does not commute");
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Bit mask of non-input signals excited in s.
+std::uint64_t excited_noninput_mask(const StateGraph& sg, StateId s) {
+  std::uint64_t mask = 0;
+  for (const Edge& e : sg.out_edges(s))
+    if (!sg.is_input(e.label.signal)) mask |= (1ULL << e.label.signal);
+  return mask;
+}
+
+}  // namespace
+
+PropertyReport check_csc(const StateGraph& sg) {
+  PropertyReport report;
+  std::map<std::uint64_t, std::vector<StateId>> by_code;
+  for (StateId s = 0; s < sg.num_states(); ++s) by_code[sg.code(s)].push_back(s);
+  for (const auto& [code, states] : by_code) {
+    if (states.size() < 2) continue;
+    const std::uint64_t reference = excited_noninput_mask(sg, states[0]);
+    for (std::size_t i = 1; i < states.size(); ++i) {
+      if (excited_noninput_mask(sg, states[i]) != reference) {
+        report.violations.push_back("CSC conflict between " + sg.state_name(states[0]) + " and " +
+                                    sg.state_name(states[i]) +
+                                    " (equal codes, different excited non-input signals)");
+      }
+    }
+  }
+  return report;
+}
+
+PropertyReport check_usc(const StateGraph& sg) {
+  PropertyReport report;
+  std::map<std::uint64_t, StateId> seen;
+  for (StateId s = 0; s < sg.num_states(); ++s) {
+    const auto [it, inserted] = seen.emplace(sg.code(s), s);
+    if (!inserted)
+      report.violations.push_back("states " + sg.state_name(it->second) + " and " +
+                                  sg.state_name(s) + " share one binary code");
+  }
+  return report;
+}
+
+std::vector<StateId> detonant_states(const StateGraph& sg, SignalId a) {
+  NSHOT_REQUIRE(!sg.is_input(a), "detonant states are defined for non-input signals");
+  std::vector<StateId> result;
+  for (StateId w = 0; w < sg.num_states(); ++w) {
+    if (sg.excited(w, a)) continue;  // a must be stable in w
+    std::set<StateId> exciting_successors;
+    for (const Edge& e : sg.out_edges(w))
+      if (sg.excited(e.target, a)) exciting_successors.insert(e.target);
+    if (exciting_successors.size() >= 2) result.push_back(w);
+  }
+  return result;
+}
+
+bool is_distributive(const StateGraph& sg, SignalId a) { return detonant_states(sg, a).empty(); }
+
+bool is_distributive(const StateGraph& sg) {
+  for (const SignalId a : sg.noninput_signals())
+    if (!is_distributive(sg, a)) return false;
+  return true;
+}
+
+PropertyReport check_implementability(const StateGraph& sg) {
+  PropertyReport report;
+  using Checker = PropertyReport (*)(const StateGraph&);
+  for (const Checker check : {Checker{&check_consistency}, Checker{&check_reachability},
+                              Checker{&check_semi_modular}, Checker{&check_csc}}) {
+    PropertyReport partial = check(sg);
+    report.violations.insert(report.violations.end(), partial.violations.begin(),
+                             partial.violations.end());
+  }
+  return report;
+}
+
+}  // namespace nshot::sg

@@ -1,0 +1,288 @@
+#include "sg/regions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nshot::sg {
+namespace {
+
+/// Union-find for the connected-component decomposition of ERs.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Tarjan SCC over a subgraph given by a node list and an adjacency lambda.
+/// Returns the SCCs in reverse topological order (bottom SCCs first is NOT
+/// guaranteed; we detect bottom SCCs explicitly afterwards).
+class SccFinder {
+ public:
+  explicit SccFinder(const std::vector<std::vector<int>>& adjacency)
+      : adjacency_(adjacency) {
+    const std::size_t n = adjacency.size();
+    index_.assign(n, -1);
+    low_.assign(n, 0);
+    on_stack_.assign(n, false);
+    component_.assign(n, -1);
+    for (std::size_t v = 0; v < n; ++v)
+      if (index_[v] < 0) strong_connect(v);
+  }
+
+  int num_components() const { return next_component_; }
+  int component_of(std::size_t local) const { return component_[local]; }
+
+ private:
+  void strong_connect(std::size_t root) {
+    // Iterative Tarjan to avoid deep recursion on long chains.
+    struct Frame {
+      std::size_t v;
+      std::size_t edge = 0;
+    };
+    std::vector<Frame> call_stack{{root}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::size_t v = frame.v;
+      if (frame.edge == 0) {
+        index_[v] = low_[v] = counter_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      while (frame.edge < adjacency_[v].size()) {
+        const std::size_t w = static_cast<std::size_t>(adjacency_[v][frame.edge++]);
+        if (index_[w] < 0) {
+          call_stack.push_back({w});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) low_[v] = std::min(low_[v], index_[w]);
+      }
+      if (descended) continue;
+      if (low_[v] == index_[v]) {
+        while (true) {
+          const std::size_t w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component_[w] = next_component_;
+          if (w == v) break;
+        }
+        ++next_component_;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const std::size_t parent = call_stack.back().v;
+        low_[parent] = std::min(low_[parent], low_[v]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>>& adjacency_;
+  std::vector<int> index_, low_, component_;
+  std::vector<bool> on_stack_;
+  std::vector<std::size_t> stack_;
+  int counter_ = 0;
+  int next_component_ = 0;
+};
+
+/// Compute QR(*a_i): forward flood from the stable exit states of the ER.
+std::vector<StateId> quiescent_of(const StateGraph& sg, SignalId a,
+                                  const std::vector<StateId>& er_states, bool rising) {
+  const bool new_value = rising;
+  std::set<StateId> region;
+  std::vector<StateId> frontier;
+  for (const StateId s : er_states) {
+    const auto exit = sg.successor(s, TransitionLabel{a, rising});
+    if (!exit) continue;  // arcs of other signals; the *a arc defines the exit
+    if (sg.value(*exit, a) == new_value && !sg.excited(*exit, a) && region.insert(*exit).second)
+      frontier.push_back(*exit);
+  }
+  while (!frontier.empty()) {
+    const StateId s = frontier.back();
+    frontier.pop_back();
+    for (const Edge& e : sg.out_edges(s)) {
+      const StateId t = e.target;
+      if (sg.value(t, a) == new_value && !sg.excited(t, a) && region.insert(t).second)
+        frontier.push_back(t);
+    }
+  }
+  return std::vector<StateId>(region.begin(), region.end());
+}
+
+}  // namespace
+
+bool ExcitationRegion::single_traversal() const {
+  for (const auto& tr : trigger_regions)
+    if (tr.size() != 1) return false;
+  return true;
+}
+
+SignalRegions compute_regions(const StateGraph& sg, SignalId a) {
+  NSHOT_REQUIRE(a >= 0 && a < sg.num_signals(), "signal index out of range");
+
+  SignalRegions result;
+  result.signal = a;
+
+  for (const bool rising : {true, false}) {
+    // States of the union of ER(+a)s (resp. ER(-a)s): a has the pre-value
+    // and is excited.
+    std::vector<StateId> members;
+    std::vector<int> local(static_cast<std::size_t>(sg.num_states()), -1);
+    for (StateId s = 0; s < sg.num_states(); ++s) {
+      if (sg.value(s, a) != rising && sg.excited(s, a)) {
+        local[static_cast<std::size_t>(s)] = static_cast<int>(members.size());
+        members.push_back(s);
+      }
+    }
+    if (members.empty()) continue;
+
+    // Maximal connected sets: union-find over arcs internal to the set
+    // (direction ignored for connectivity).
+    UnionFind uf(members.size());
+    for (const StateId s : members) {
+      for (const Edge& e : sg.out_edges(s)) {
+        const int t_local = local[static_cast<std::size_t>(e.target)];
+        if (t_local >= 0) uf.unite(static_cast<std::size_t>(local[static_cast<std::size_t>(s)]),
+                                   static_cast<std::size_t>(t_local));
+      }
+    }
+    std::map<std::size_t, std::vector<StateId>> components;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      components[uf.find(i)].push_back(members[i]);
+
+    for (auto& [root, er_states] : components) {
+      ExcitationRegion er;
+      er.signal = a;
+      er.rising = rising;
+      std::sort(er_states.begin(), er_states.end());
+      er.states = er_states;
+      er.quiescent = quiescent_of(sg, a, er.states, rising);
+
+      // Trigger regions: bottom SCCs of the subgraph of the ER induced by
+      // the arcs that do not fire *a.
+      std::vector<int> er_local(static_cast<std::size_t>(sg.num_states()), -1);
+      for (std::size_t i = 0; i < er.states.size(); ++i)
+        er_local[static_cast<std::size_t>(er.states[i])] = static_cast<int>(i);
+      std::vector<std::vector<int>> adjacency(er.states.size());
+      for (std::size_t i = 0; i < er.states.size(); ++i) {
+        for (const Edge& e : sg.out_edges(er.states[i])) {
+          if (e.label.signal == a) continue;  // firing *a leaves the region
+          const int t_local = er_local[static_cast<std::size_t>(e.target)];
+          if (t_local >= 0) adjacency[i].push_back(t_local);
+        }
+      }
+      SccFinder scc(adjacency);
+      // A bottom SCC has no arc into a different SCC.
+      std::vector<bool> is_bottom(static_cast<std::size_t>(scc.num_components()), true);
+      for (std::size_t i = 0; i < er.states.size(); ++i)
+        for (const int j : adjacency[i])
+          if (scc.component_of(i) != scc.component_of(static_cast<std::size_t>(j)))
+            is_bottom[static_cast<std::size_t>(scc.component_of(i))] = false;
+      std::vector<std::vector<StateId>> triggers(
+          static_cast<std::size_t>(scc.num_components()));
+      for (std::size_t i = 0; i < er.states.size(); ++i)
+        triggers[static_cast<std::size_t>(scc.component_of(i))].push_back(er.states[i]);
+      for (std::size_t c = 0; c < triggers.size(); ++c)
+        if (is_bottom[c]) er.trigger_regions.push_back(std::move(triggers[c]));
+
+      result.regions.push_back(std::move(er));
+    }
+  }
+  return result;
+}
+
+std::vector<SignalRegions> compute_all_regions(const StateGraph& sg) {
+  std::vector<SignalRegions> all;
+  for (const SignalId a : sg.noninput_signals()) all.push_back(compute_regions(sg, a));
+  return all;
+}
+
+bool is_single_traversal(const StateGraph& sg) {
+  for (const SignalId a : sg.noninput_signals()) {
+    const SignalRegions regions = compute_regions(sg, a);
+    for (const ExcitationRegion& er : regions.regions)
+      if (!er.single_traversal()) return false;
+  }
+  return true;
+}
+
+bool verify_output_trapping(const StateGraph& sg, const ExcitationRegion& er) {
+  const std::set<StateId> members(er.states.begin(), er.states.end());
+  for (const StateId s : er.states) {
+    for (const Edge& e : sg.out_edges(s)) {
+      if (e.label.signal == er.signal) continue;  // firing *a: allowed exit
+      if (!members.contains(e.target)) return false;
+    }
+  }
+  return true;
+}
+
+bool verify_trigger_reachability(const StateGraph& sg, const ExcitationRegion& er) {
+  std::set<StateId> trigger_states;
+  for (const auto& tr : er.trigger_regions)
+    trigger_states.insert(tr.begin(), tr.end());
+  const std::set<StateId> members(er.states.begin(), er.states.end());
+
+  for (const StateId start : er.states) {
+    // BFS inside the ER over non-*a arcs.
+    std::set<StateId> seen{start};
+    std::vector<StateId> frontier{start};
+    bool found = trigger_states.contains(start);
+    while (!frontier.empty() && !found) {
+      const StateId s = frontier.back();
+      frontier.pop_back();
+      for (const Edge& e : sg.out_edges(s)) {
+        if (e.label.signal == er.signal || !members.contains(e.target)) continue;
+        if (seen.insert(e.target).second) {
+          if (trigger_states.contains(e.target)) {
+            found = true;
+            break;
+          }
+          frontier.push_back(e.target);
+        }
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string SignalRegions::to_string(const StateGraph& sg) const {
+  std::string text = "regions of signal " + sg.signal(signal).name + ":\n";
+  int up_index = 0, down_index = 0;
+  for (const ExcitationRegion& er : regions) {
+    const std::string label = sg.signal(signal).name + (er.rising ? "+" : "-") + "_" +
+                              std::to_string(er.rising ? up_index++ : down_index++);
+    text += "  ER(" + label + ") = {";
+    for (std::size_t i = 0; i < er.states.size(); ++i)
+      text += (i ? ", " : "") + sg.state_name(er.states[i]);
+    text += "}\n  QR(" + label + ") = {";
+    for (std::size_t i = 0; i < er.quiescent.size(); ++i)
+      text += (i ? ", " : "") + sg.state_name(er.quiescent[i]);
+    text += "}\n";
+    for (std::size_t t = 0; t < er.trigger_regions.size(); ++t) {
+      text += "  TR(" + label + ")[" + std::to_string(t) + "] = {";
+      for (std::size_t i = 0; i < er.trigger_regions[t].size(); ++i)
+        text += (i ? ", " : "") + sg.state_name(er.trigger_regions[t][i]);
+      text += "}\n";
+    }
+  }
+  return text;
+}
+
+}  // namespace nshot::sg

@@ -1,0 +1,104 @@
+// State graph model (Section III-A of the paper).
+//
+// A state graph (SG) is a finite automaton G = <X, S, T, delta, s0> where X
+// is partitioned into input and non-input signals, each state carries a
+// binary code over X, and each arc is labelled with a single signal
+// transition (+x or -x).  State identity is explicit (two states may share
+// one binary code — that is exactly what the CSC property is about), codes
+// are labels.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nshot::sg {
+
+using SignalId = int;
+using StateId = int;
+
+enum class SignalKind { kInput, kNonInput };
+
+struct Signal {
+  std::string name;
+  SignalKind kind;
+};
+
+/// A signal transition label: +x (rising) or -x (falling).
+struct TransitionLabel {
+  SignalId signal = -1;
+  bool rising = true;
+
+  friend bool operator==(const TransitionLabel&, const TransitionLabel&) = default;
+};
+
+struct Edge {
+  TransitionLabel label;
+  StateId target = -1;
+};
+
+/// The state graph.  Build with add_signal/add_state/add_edge/set_initial;
+/// structural invariants (consistent codes, determinism, ...) are checked
+/// separately by the functions in properties.hpp.
+class StateGraph {
+ public:
+  StateGraph() = default;
+  explicit StateGraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- construction -------------------------------------------------------
+  SignalId add_signal(const std::string& name, SignalKind kind);
+  StateId add_state(std::uint64_t code);
+  void add_edge(StateId from, TransitionLabel label, StateId to);
+  void set_initial(StateId s);
+
+  // --- signals ------------------------------------------------------------
+  int num_signals() const { return static_cast<int>(signals_.size()); }
+  const Signal& signal(SignalId x) const { return signals_[static_cast<std::size_t>(x)]; }
+  bool is_input(SignalId x) const { return signal(x).kind == SignalKind::kInput; }
+  std::vector<SignalId> input_signals() const;
+  std::vector<SignalId> noninput_signals() const;
+  /// Index of the signal called `name`; std::nullopt if absent.
+  std::optional<SignalId> find_signal(const std::string& name) const;
+
+  // --- states and arcs ----------------------------------------------------
+  int num_states() const { return static_cast<int>(codes_.size()); }
+  std::uint64_t code(StateId s) const { return codes_[static_cast<std::size_t>(s)]; }
+  std::span<const Edge> out_edges(StateId s) const {
+    return std::span<const Edge>(edges_[static_cast<std::size_t>(s)]);
+  }
+  StateId initial() const { return initial_; }
+
+  /// Value of signal x in state s (bit x of the code).
+  bool value(StateId s, SignalId x) const { return (code(s) >> x) & 1ULL; }
+
+  /// True if some transition of signal x is enabled in s.
+  bool excited(StateId s, SignalId x) const;
+
+  /// The state delta(s, t), if defined.
+  std::optional<StateId> successor(StateId s, TransitionLabel t) const;
+
+  bool enabled(StateId s, TransitionLabel t) const { return successor(s, t).has_value(); }
+
+  /// All transition labels enabled in s.
+  std::vector<TransitionLabel> enabled_labels(StateId s) const;
+
+  // --- rendering ----------------------------------------------------------
+  /// "a+" / "a-" for a label.
+  std::string label_name(TransitionLabel t) const;
+  /// Binary code of s as a string, LSB = signal 0, e.g. "a=1 b=0 c*=0".
+  std::string state_name(StateId s) const;
+
+ private:
+  std::string name_;
+  std::vector<Signal> signals_;
+  std::vector<std::uint64_t> codes_;
+  std::vector<std::vector<Edge>> edges_;
+  StateId initial_ = -1;
+};
+
+}  // namespace nshot::sg

@@ -1,0 +1,177 @@
+#include "sim/conformance.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "sim/vcd.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nshot::sim {
+
+using netlist::NetId;
+
+std::string ConformanceReport::summary() const {
+  std::ostringstream out;
+  out << runs << " run(s): " << external_transitions << " conformant external transitions, "
+      << internal_toggles << " internal toggles, " << deadlocks << " deadlock(s), "
+      << violations.size() << " violation(s)";
+  for (std::size_t i = 0; i < std::min<std::size_t>(violations.size(), 5); ++i)
+    out << "\n  [seed " << violations[i].seed << " t=" << violations[i].time << "] "
+        << violations[i].description;
+  return out.str();
+}
+
+std::vector<std::pair<NetId, bool>> initial_net_values(const sg::StateGraph& spec,
+                                                       const netlist::Netlist& circuit) {
+  std::vector<std::pair<NetId, bool>> values;
+  for (int x = 0; x < spec.num_signals(); ++x) {
+    const bool v = spec.value(spec.initial(), x);
+    if (const auto q = circuit.find_net(spec.signal(x).name)) values.emplace_back(*q, v);
+    if (const auto qb = circuit.find_net(spec.signal(x).name + "_b"))
+      values.emplace_back(*qb, !v);
+  }
+  if (const auto c0 = circuit.find_net("const0")) values.emplace_back(*c0, false);
+  if (const auto c1 = circuit.find_net("const1")) values.emplace_back(*c1, true);
+  return values;
+}
+
+namespace {
+
+/// One closed-loop run; appends to the report.  When `recorder` is given,
+/// every net change (and the initial values) are captured for VCD export.
+void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+              const ConformanceOptions& options, std::uint64_t seed, ConformanceReport& report,
+              VcdRecorder* recorder = nullptr) {
+  const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
+  Simulator sim(circuit, lib, SimulatorOptions{seed, /*randomize_delays=*/true});
+  Rng rng(seed ^ 0x5eedfeedULL);
+
+  // Signal <-> net maps (by name, the repository-wide convention).
+  std::vector<NetId> signal_net(static_cast<std::size_t>(spec.num_signals()), -1);
+  std::vector<int> net_signal(static_cast<std::size_t>(circuit.num_nets()), -1);
+  for (int x = 0; x < spec.num_signals(); ++x) {
+    const auto net = circuit.find_net(spec.signal(x).name);
+    NSHOT_REQUIRE(net.has_value(), "circuit has no net for signal " + spec.signal(x).name);
+    signal_net[static_cast<std::size_t>(x)] = *net;
+    net_signal[static_cast<std::size_t>(*net)] = x;
+  }
+
+  sg::StateId state = spec.initial();
+  long run_transitions = 0;
+  bool failed = false;
+
+  NetObserver vcd_observer = recorder ? recorder->observer() : NetObserver{};
+  sim.set_observer([&, vcd_observer](NetId net, bool value, double time) {
+    if (vcd_observer) vcd_observer(net, value, time);
+    const int x = net_signal[static_cast<std::size_t>(net)];
+    if (x < 0 || failed) return;  // internal net, or already failing
+    const sg::TransitionLabel label{x, value};
+    const auto next = spec.successor(state, label);
+    if (next) {
+      state = *next;
+      ++run_transitions;
+      return;
+    }
+    failed = true;
+    report.violations.push_back(ConformanceViolation{
+        seed, time,
+        "unexpected transition " + spec.label_name(label) + " in state " +
+            spec.state_name(state) + (spec.is_input(x) ? " (environment bug)" : " (hazard)")});
+  });
+
+  sim.initialize(initial_net_values(spec, circuit));
+  if (recorder) recorder->capture_initial(sim);
+
+  struct InputDecision {
+    sg::TransitionLabel label;
+    double time;
+  };
+  std::optional<InputDecision> decision;
+
+  while (!failed && run_transitions < options.max_transitions &&
+         sim.now() < options.time_limit) {
+    // (Re)validate or make the environment's next input decision.
+    if (decision && !spec.enabled(state, decision->label)) decision.reset();
+    if (!decision) {
+      std::vector<sg::TransitionLabel> choices;
+      for (const sg::TransitionLabel& label : spec.enabled_labels(state))
+        if (spec.is_input(label.signal)) choices.push_back(label);
+      if (!choices.empty()) {
+        const sg::TransitionLabel pick = choices[rng.next_below(choices.size())];
+        decision = InputDecision{
+            pick, sim.now() + rng.next_double(options.input_delay_min, options.input_delay_max)};
+      }
+    }
+
+    // Fundamental mode: drain all circuit activity before the input fires.
+    if (sim.has_pending_events() &&
+        (!decision || options.fundamental_mode || sim.next_event_time() <= decision->time)) {
+      sim.step();
+      continue;
+    }
+    if (decision) {
+      if (options.fundamental_mode && decision->time < sim.now())
+        decision->time = sim.now();  // the circuit outlasted the planned instant
+      sim.set_input(signal_net[static_cast<std::size_t>(decision->label.signal)],
+                    decision->label.rising, decision->time);
+      // Commit the input immediately (it is the earliest pending event) so
+      // the spec state advances before the next decision is made.
+      sim.step();
+      decision.reset();
+      continue;
+    }
+
+    // No circuit events and no possible input: quiescent or deadlocked.
+    bool output_pending = false;
+    for (const sg::TransitionLabel& label : spec.enabled_labels(state))
+      if (!spec.is_input(label.signal)) output_pending = true;
+    if (output_pending) {
+      ++report.deadlocks;
+      report.violations.push_back(ConformanceViolation{
+          seed, sim.now(),
+          "deadlock: circuit quiescent but spec state " + spec.state_name(state) +
+              " still enables a non-input transition"});
+    }
+    break;
+  }
+
+  report.external_transitions += run_transitions;
+  std::vector<NetId> excluded;
+  for (int x = 0; x < spec.num_signals(); ++x) {
+    excluded.push_back(signal_net[static_cast<std::size_t>(x)]);
+    if (const auto qb = circuit.find_net(spec.signal(x).name + "_b")) excluded.push_back(*qb);
+  }
+  report.internal_toggles += sim.total_toggles_excluding(excluded);
+  report.absorbed_pulses += sim.mhs_absorbed_pulses();
+  report.simulated_time += sim.now();
+}
+
+}  // namespace
+
+ConformanceReport check_conformance(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+                                    const ConformanceOptions& options) {
+  ConformanceReport report;
+  report.runs = options.runs;
+  for (int r = 0; r < options.runs; ++r)
+    run_once(spec, circuit, options, options.seed + static_cast<std::uint64_t>(r) * 0x9e37ULL,
+             report);
+  return report;
+}
+
+TracedRun record_vcd_trace(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+                           std::uint64_t seed, int max_transitions) {
+  VcdRecorder recorder(circuit);
+  ConformanceOptions options;
+  options.runs = 1;
+  options.seed = seed;
+  options.max_transitions = max_transitions;
+  TracedRun traced;
+  traced.report.runs = 1;
+  run_once(spec, circuit, options, seed, traced.report, &recorder);
+  traced.vcd = recorder.write();
+  return traced;
+}
+
+}  // namespace nshot::sim

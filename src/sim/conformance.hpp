@@ -1,0 +1,89 @@
+// Closed-loop conformance and external hazard-freeness checking.
+//
+// The environment automaton walks the state graph: it drives the circuit's
+// input nets with transitions the SG currently enables (after arbitrary
+// reaction delays — the paper's environment assumption), and observes every
+// change of a non-input net.  A non-input change that the specification
+// does not enable in the current state — including any glitch pulse — is a
+// conformance violation; absence of progress while non-input transitions
+// are enabled is a deadlock (e.g. an unsatisfied trigger requirement
+// starving the MHS flip-flop).
+//
+// Internal SOP nets are expected to glitch (that is the whole point of the
+// architecture); their toggle activity is reported as `internal_toggles`
+// so benches can show hazardous-inside / clean-outside behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sg/state_graph.hpp"
+#include "sim/event_sim.hpp"
+
+namespace nshot::sim {
+
+struct ConformanceOptions {
+  std::uint64_t seed = 1;
+  int runs = 20;                 // independent delay samples
+  int max_transitions = 200;     // observable transitions per run
+  double input_delay_min = 0.1;  // environment reaction interval
+  double input_delay_max = 12.0;
+  double time_limit = 1e6;
+  /// Fundamental-mode style environment: wait for the circuit to become
+  /// quiescent before committing the next input (the paper's methods do
+  /// NOT need this — the default environment "can react immediately" —
+  /// but it is useful for comparing against fundamental-mode assumptions
+  /// [20, 8]).
+  bool fundamental_mode = false;
+};
+
+struct ConformanceViolation {
+  std::uint64_t seed = 0;
+  double time = 0.0;
+  std::string description;
+};
+
+struct ConformanceReport {
+  int runs = 0;
+  long external_transitions = 0;  // spec-conformant observable transitions
+  long internal_toggles = 0;      // toggles on non-observable nets
+  long absorbed_pulses = 0;       // sub-threshold pulses the MHS filtered
+  double simulated_time = 0.0;    // total simulated time over all runs
+  int deadlocks = 0;
+  std::vector<ConformanceViolation> violations;
+
+  /// Average simulated time per observable transition (dynamic cycle-time
+  /// proxy); 0 when nothing fired.
+  double time_per_transition() const {
+    return external_transitions > 0 ? simulated_time / external_transitions : 0.0;
+  }
+
+  bool clean() const { return violations.empty() && deadlocks == 0; }
+  std::string summary() const;
+};
+
+/// Run `options.runs` randomized-delay closed-loop simulations of `circuit`
+/// against `spec`.  The circuit's primary input nets must be named after
+/// the SG input signals and the observable non-input nets after the SG
+/// non-input signals (all synthesizers in this repository follow that
+/// convention).
+ConformanceReport check_conformance(const sg::StateGraph& spec,
+                                    const netlist::Netlist& circuit,
+                                    const ConformanceOptions& options = {});
+
+/// Net initial values for simulating `circuit` from the SG initial state:
+/// signal rails (q and qb), const0/const1, and feedback-cut state nets.
+std::vector<std::pair<netlist::NetId, bool>> initial_net_values(
+    const sg::StateGraph& spec, const netlist::Netlist& circuit);
+
+/// Run one closed-loop simulation and return its full waveform as VCD
+/// text (see sim/vcd.hpp) together with the conformance outcome.
+struct TracedRun {
+  std::string vcd;
+  ConformanceReport report;
+};
+TracedRun record_vcd_trace(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+                           std::uint64_t seed = 1, int max_transitions = 100);
+
+}  // namespace nshot::sim

@@ -1,0 +1,321 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nshot::sim {
+
+using gatelib::GateType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::NetId;
+
+namespace {
+constexpr double kTimeEps = 1e-9;
+}
+
+Simulator::Simulator(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib,
+                     const SimulatorOptions& options)
+    : netlist_(netlist), lib_(lib), rng_(options.seed) {
+  const std::size_t num_nets = static_cast<std::size_t>(netlist.num_nets());
+  values_.assign(num_nets, false);
+  projected_.assign(num_nets, false);
+  toggles_.assign(num_nets, 0);
+  fanout_.assign(num_nets, {});
+  mhs_.assign(static_cast<std::size_t>(netlist.num_gates()), {});
+  inertial_.assign(static_cast<std::size_t>(netlist.num_gates()), {});
+  gate_delay_.assign(static_cast<std::size_t>(netlist.num_gates()), 0.0);
+
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    for (const NetId in : gate.inputs) fanout_[static_cast<std::size_t>(in)].push_back(g);
+    if (gate.type == GateType::kDelayLine || gate.type == GateType::kInertialDelay) {
+      gate_delay_[static_cast<std::size_t>(g)] = gate.explicit_delay;
+    } else if (gate.type == GateType::kMhsFlipFlop) {
+      gate_delay_[static_cast<std::size_t>(g)] = lib.mhs_response();
+    } else {
+      const gatelib::GateTiming timing =
+          lib.timing(gate.type, static_cast<int>(gate.inputs.size()));
+      gate_delay_[static_cast<std::size_t>(g)] =
+          options.randomize_delays ? rng_.next_double(timing.min_delay, timing.max_delay)
+                                   : 0.5 * (timing.min_delay + timing.max_delay);
+    }
+  }
+}
+
+bool Simulator::eval_combinational(const Gate& gate) const {
+  auto in = [&](std::size_t i) {
+    const bool v = values_[static_cast<std::size_t>(gate.inputs[i])];
+    return gate.input_inverted(i) ? !v : v;
+  };
+  switch (gate.type) {
+    case GateType::kAnd: {
+      for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+        if (!in(i)) return false;
+      return true;
+    }
+    case GateType::kOr: {
+      for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+        if (in(i)) return true;
+      return false;
+    }
+    case GateType::kInv:
+      return !in(0);
+    case GateType::kBuf:
+    case GateType::kDelayLine:
+    case GateType::kInertialDelay:
+      return in(0);
+    case GateType::kRsLatch: {
+      const bool s = in(0), r = in(1);
+      if (s) return true;  // set dominant
+      if (r) return false;
+      return values_[static_cast<std::size_t>(gate.outputs[0])];
+    }
+    case GateType::kCElement: {
+      bool all_one = true, all_zero = true;
+      for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+        if (in(i)) all_zero = false;
+        else all_one = false;
+      }
+      if (all_one) return true;
+      if (all_zero) return false;
+      return values_[static_cast<std::size_t>(gate.outputs[0])];
+    }
+    case GateType::kMhsFlipFlop:
+      NSHOT_ASSERT(false, "MHS flip-flop is not a combinational gate");
+  }
+  return false;
+}
+
+void Simulator::initialize(const std::vector<std::pair<NetId, bool>>& fixed_values) {
+  NSHOT_REQUIRE(!initialized_, "initialize must be called exactly once");
+  initialized_ = true;
+
+  std::vector<bool> is_source(static_cast<std::size_t>(netlist_.num_nets()), false);
+  for (const auto& [net, value] : fixed_values) {
+    values_[static_cast<std::size_t>(net)] = value;
+    is_source[static_cast<std::size_t>(net)] = true;
+  }
+
+  // Combinational settle: evaluate non-storage gates in dependency order.
+  std::vector<GateId> pending;
+  for (GateId g = 0; g < netlist_.num_gates(); ++g) {
+    const Gate& gate = netlist_.gate(g);
+    if (gatelib::is_storage(gate.type) || gate.feedback_cut) {
+      for (const NetId out : gate.outputs)
+        NSHOT_REQUIRE(is_source[static_cast<std::size_t>(out)],
+                      "initialize: storage output " + netlist_.net_name(out) +
+                          " needs an initial value");
+    } else {
+      pending.push_back(g);
+    }
+  }
+  std::vector<bool> net_known = is_source;
+  for (const NetId pi : netlist_.primary_inputs()) net_known[static_cast<std::size_t>(pi)] = true;
+  bool progress = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<GateId> still;
+    for (const GateId g : pending) {
+      const Gate& gate = netlist_.gate(g);
+      const bool ready = std::all_of(gate.inputs.begin(), gate.inputs.end(), [&](NetId in) {
+        return net_known[static_cast<std::size_t>(in)];
+      });
+      if (!ready) {
+        still.push_back(g);
+        continue;
+      }
+      values_[static_cast<std::size_t>(gate.outputs[0])] = eval_combinational(gate);
+      net_known[static_cast<std::size_t>(gate.outputs[0])] = true;
+      progress = true;
+    }
+    pending = std::move(still);
+  }
+  NSHOT_ASSERT(pending.empty(), "initialize: combinational cycle or undriven input");
+  projected_ = values_;
+
+  // Arm storage elements that are excited in the initial state.
+  for (GateId g = 0; g < netlist_.num_gates(); ++g) {
+    const Gate& gate = netlist_.gate(g);
+    if (gate.type == GateType::kMhsFlipFlop) {
+      handle_mhs_input(g);
+    } else if (gatelib::is_storage(gate.type) || gate.feedback_cut) {
+      const bool target = gate.feedback_cut ? values_[static_cast<std::size_t>(gate.inputs[0])]
+                                            : eval_combinational(gate);
+      if (target != projected_[static_cast<std::size_t>(gate.outputs[0])])
+        schedule_net(gate.outputs[0], target, gate_delay_[static_cast<std::size_t>(g)]);
+    }
+  }
+}
+
+void Simulator::set_input(NetId net, bool value, double at_time) {
+  NSHOT_REQUIRE(at_time + kTimeEps >= now_, "cannot schedule input change in the past");
+  schedule_net(net, value, at_time);
+}
+
+void Simulator::schedule_net(NetId net, bool value, double time, std::uint64_t generation) {
+  if (generation == 0 && projected_[static_cast<std::size_t>(net)] == value) return;
+  projected_[static_cast<std::size_t>(net)] = value;
+  events_.push(Event{time, next_seq_++, EventKind::kNetChange, net, value, generation});
+}
+
+void Simulator::commit_net(NetId net, bool value) {
+  if (values_[static_cast<std::size_t>(net)] == value) return;
+  values_[static_cast<std::size_t>(net)] = value;
+  ++toggles_[static_cast<std::size_t>(net)];
+  if (observer_) observer_(net, value, now_);
+  for (const GateId g : fanout_[static_cast<std::size_t>(net)]) evaluate_gate(g);
+}
+
+void Simulator::evaluate_gate(GateId g) {
+  const Gate& gate = netlist_.gate(g);
+  switch (gate.type) {
+    case GateType::kMhsFlipFlop:
+      handle_mhs_input(g);
+      return;
+    case GateType::kInertialDelay: {
+      InertialState& st = inertial_[static_cast<std::size_t>(g)];
+      const NetId out = gate.outputs[0];
+      const bool v = values_[static_cast<std::size_t>(gate.inputs[0])];
+      if (st.has_pending) {  // cancel the scheduled (conflicting) change
+        ++st.generation;
+        st.has_pending = false;
+        projected_[static_cast<std::size_t>(out)] = values_[static_cast<std::size_t>(out)];
+      }
+      if (values_[static_cast<std::size_t>(out)] != v) {
+        st.has_pending = true;
+        st.pending_value = v;
+        projected_[static_cast<std::size_t>(out)] = v;
+        events_.push(Event{now_ + gate_delay_[static_cast<std::size_t>(g)], next_seq_++,
+                           EventKind::kNetChange, out, v, st.generation + 1});
+      }
+      return;
+    }
+    default: {
+      const bool v = eval_combinational(gate);
+      schedule_net(gate.outputs[0], v, now_ + gate_delay_[static_cast<std::size_t>(g)]);
+      return;
+    }
+  }
+}
+
+void Simulator::handle_mhs_input(GateId g) {
+  const Gate& gate = netlist_.gate(g);
+  MhsState& st = mhs_[static_cast<std::size_t>(g)];
+  NSHOT_ASSERT(gate.inputs.size() == 4,
+               "MHS cell expects inputs {set, reset, enable_set, enable_reset}");
+  // The acknowledgement AND gates are part of the cell (Figure 5): the
+  // effective excitations gate the SOP outputs with the enable rails.
+  const bool set = values_[static_cast<std::size_t>(gate.inputs[0])] &&
+                   values_[static_cast<std::size_t>(gate.inputs[2])];
+  const bool reset = values_[static_cast<std::size_t>(gate.inputs[1])] &&
+                     values_[static_cast<std::size_t>(gate.inputs[3])];
+  const bool q_projected = projected_[static_cast<std::size_t>(gate.outputs[0])];
+
+  const double omega = lib_.mhs_threshold();
+  if (set && st.set_rise < 0.0) {
+    st.set_rise = now_;
+    if (!q_projected)
+      events_.push(Event{now_ + omega, next_seq_++, EventKind::kMhsProbe, g,
+                         /*value=set side*/ true, 0});
+  } else if (!set && st.set_rise >= 0.0) {
+    // Falling edge: a pulse of width >= ω fires even if the probe has not
+    // been processed yet (exact-width boundary); shorter pulses are
+    // absorbed.
+    if (now_ + kTimeEps >= st.set_rise + omega && !q_projected) {
+      const double fire = st.set_rise + lib_.mhs_response();
+      schedule_net(gate.outputs[0], true, fire);
+      schedule_net(gate.outputs[1], false, fire);
+    } else if (!q_projected) {
+      ++mhs_absorbed_;  // sub-threshold pulse filtered by the master stage
+    }
+    st.set_rise = -1.0;
+  }
+
+  if (reset && st.reset_rise < 0.0) {
+    st.reset_rise = now_;
+    if (q_projected)
+      events_.push(Event{now_ + omega, next_seq_++, EventKind::kMhsProbe, g,
+                         /*value=reset side*/ false, 0});
+  } else if (!reset && st.reset_rise >= 0.0) {
+    if (now_ + kTimeEps >= st.reset_rise + omega && q_projected) {
+      const double fire = st.reset_rise + lib_.mhs_response();
+      schedule_net(gate.outputs[0], false, fire);
+      schedule_net(gate.outputs[1], true, fire);
+    } else if (q_projected) {
+      ++mhs_absorbed_;
+    }
+    st.reset_rise = -1.0;
+  }
+}
+
+void Simulator::handle_mhs_probe(GateId g, bool probing_set) {
+  const Gate& gate = netlist_.gate(g);
+  MhsState& st = mhs_[static_cast<std::size_t>(g)];
+  const NetId q = gate.outputs[0];
+  const NetId qb = gate.outputs[1];
+  // Re-read on pop: the excitation must have been continuously high for ω
+  // (any intermediate fall resets *_rise, so the window check suffices).
+  if (probing_set) {
+    const bool set = values_[static_cast<std::size_t>(gate.inputs[0])] &&
+                     values_[static_cast<std::size_t>(gate.inputs[2])];
+    if (set && st.set_rise >= 0.0 && now_ + kTimeEps >= st.set_rise + lib_.mhs_threshold() &&
+        !projected_[static_cast<std::size_t>(q)]) {
+      const double fire = st.set_rise + lib_.mhs_response();
+      schedule_net(q, true, fire);
+      schedule_net(qb, false, fire);
+    }
+  } else {
+    const bool reset = values_[static_cast<std::size_t>(gate.inputs[1])] &&
+                       values_[static_cast<std::size_t>(gate.inputs[3])];
+    if (reset && st.reset_rise >= 0.0 && now_ + kTimeEps >= st.reset_rise + lib_.mhs_threshold() &&
+        projected_[static_cast<std::size_t>(q)]) {
+      const double fire = st.reset_rise + lib_.mhs_response();
+      schedule_net(q, false, fire);
+      schedule_net(qb, true, fire);
+    }
+  }
+}
+
+bool Simulator::step() {
+  NSHOT_REQUIRE(initialized_, "initialize the simulator before stepping");
+  if (events_.empty()) return false;
+  const Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+
+  if (event.kind == EventKind::kMhsProbe) {
+    handle_mhs_probe(event.target, event.value);
+    return true;
+  }
+
+  // Cancelled inertial events carry a stale generation.
+  if (event.generation != 0) {
+    const auto driver = netlist_.driver(event.target);
+    NSHOT_ASSERT(driver.has_value(), "generation event on undriven net");
+    const InertialState& st = inertial_[static_cast<std::size_t>(*driver)];
+    if (!st.has_pending || event.generation != st.generation + 1) return true;  // stale
+    inertial_[static_cast<std::size_t>(*driver)].has_pending = false;
+  }
+  commit_net(event.target, event.value);
+  return true;
+}
+
+void Simulator::run_until(double time_limit) {
+  while (!events_.empty() && events_.top().time <= time_limit) step();
+}
+
+double Simulator::next_event_time() const {
+  NSHOT_REQUIRE(!events_.empty(), "no pending events");
+  return events_.top().time;
+}
+
+long Simulator::total_toggles_excluding(const std::vector<NetId>& excluded) const {
+  long total = 0;
+  for (std::size_t n = 0; n < toggles_.size(); ++n) total += toggles_[n];
+  for (const NetId n : excluded) total -= toggles_[static_cast<std::size_t>(n)];
+  return total;
+}
+
+}  // namespace nshot::sim

@@ -1,0 +1,137 @@
+// Event-driven gate-level simulator under the paper's pure delay model
+// (Section IV-A): a pulse of any length on a gate input propagates to the
+// gate output.  Gates have arbitrary — but per-run constant — delays
+// sampled from the library's [min, max] interval, so running many seeds
+// explores the delay space the hazard-freeness claim quantifies over.
+//
+// Primitives:
+//  * AND/OR (with input inversion bubbles), INV, BUF: transport delay.
+//  * kDelayLine: transport delay with an explicit per-instance delay.
+//  * kInertialDelay: inertial delay — absorbs pulses shorter than its
+//    delay (used by the MHS filter stage model and the SIS-like baseline's
+//    hazard-masking pads).
+//  * RS latch (set dominant), C-element: transport delay storage.
+//  * MHS flip-flop: behavioural model of Figures 4 and 5 — a cell with
+//    inputs {set, reset, enable_set, enable_reset} whose effective
+//    excitations are set&enable_set / reset&enable_reset (the
+//    acknowledgement AND gates are part of the custom cell).  An effective
+//    excitation pulse shorter than the threshold ω is absorbed; a pulse of
+//    width >= ω fires the output translated forward by τ.  Set pulses are
+//    ignored while the output is already 1, reset pulses while it is 0.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace nshot::sim {
+
+struct SimulatorOptions {
+  std::uint64_t seed = 1;
+  /// Sample per-gate delays uniformly from the library interval; when
+  /// false every gate uses the midpoint (deterministic baseline).
+  bool randomize_delays = true;
+};
+
+/// Called on every committed net value change.
+using NetObserver = std::function<void(netlist::NetId, bool value, double time)>;
+
+class Simulator {
+ public:
+  Simulator(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib,
+            const SimulatorOptions& options);
+
+  /// Set the initial value of specific nets (primary inputs and storage
+  /// outputs), then propagate through the combinational gates and arm any
+  /// initially-excited storage elements.  Must be called exactly once
+  /// before stepping.
+  void initialize(const std::vector<std::pair<netlist::NetId, bool>>& fixed_values);
+
+  /// Schedule an external change of a primary input.
+  void set_input(netlist::NetId net, bool value, double at_time);
+
+  void set_observer(NetObserver observer) { observer_ = std::move(observer); }
+
+  /// Process the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `time_limit` is passed.
+  void run_until(double time_limit);
+
+  double now() const { return now_; }
+  bool has_pending_events() const { return !events_.empty(); }
+  double next_event_time() const;
+
+  bool value(netlist::NetId net) const { return values_[static_cast<std::size_t>(net)]; }
+  /// Number of committed value changes of a net since initialization.
+  long toggle_count(netlist::NetId net) const {
+    return toggles_[static_cast<std::size_t>(net)];
+  }
+  /// Sum of toggle counts over all nets except the listed ones.
+  long total_toggles_excluding(const std::vector<netlist::NetId>& excluded) const;
+
+  /// Number of sub-threshold excitation pulses absorbed by the MHS
+  /// flip-flops (the hazard filter of Figure 5 doing its job).
+  long mhs_absorbed_pulses() const { return mhs_absorbed_; }
+
+  const netlist::Netlist& circuit() const { return netlist_; }
+
+ private:
+  enum class EventKind { kNetChange, kMhsProbe };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break
+    EventKind kind;
+    int target;     // net id, or gate id for probes
+    bool value;     // net change value
+    std::uint64_t generation;  // for cancellable inertial events
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct MhsState {
+    double set_rise = -1.0;    // time the (gated) set input last rose; -1 = low
+    double reset_rise = -1.0;
+    bool armed_set = false;    // a probe for the current set excitation is queued
+    bool armed_reset = false;
+  };
+
+  struct InertialState {
+    std::uint64_t generation = 0;  // invalidates the pending event
+    bool has_pending = false;
+    bool pending_value = false;
+  };
+
+  void schedule_net(netlist::NetId net, bool value, double time, std::uint64_t generation = 0);
+  void commit_net(netlist::NetId net, bool value);
+  void evaluate_gate(netlist::GateId g);
+  bool eval_combinational(const netlist::Gate& gate) const;
+  void handle_mhs_input(netlist::GateId g);
+  void handle_mhs_probe(netlist::GateId g, bool probing_set);
+
+  const netlist::Netlist& netlist_;
+  const gatelib::GateLibrary& lib_;
+  Rng rng_;
+  std::vector<double> gate_delay_;        // sampled per gate
+  std::vector<bool> values_;              // committed net values
+  std::vector<bool> projected_;           // value after all pending events
+  std::vector<long> toggles_;
+  std::vector<std::vector<netlist::GateId>> fanout_;  // net -> reader gates
+  std::vector<MhsState> mhs_;             // per gate (only MHS entries used)
+  std::vector<InertialState> inertial_;   // per gate (only inertial entries used)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t next_seq_ = 0;
+  long mhs_absorbed_ = 0;
+  double now_ = 0.0;
+  bool initialized_ = false;
+  NetObserver observer_;
+};
+
+}  // namespace nshot::sim

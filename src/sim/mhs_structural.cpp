@@ -1,0 +1,62 @@
+#include "sim/mhs_structural.hpp"
+
+namespace nshot::sim {
+
+using gatelib::GateType;
+using netlist::Gate;
+
+StructuralMhs build_structural_mhs(double omega) {
+  StructuralMhs model{netlist::Netlist("structural_mhs"), {}};
+  netlist::Netlist& nl = model.circuit;
+  StructuralMhsNets& nets = model.nets;
+
+  nets.set_in = nl.add_net("set_in");
+  nets.reset_in = nl.add_net("reset_in");
+  nl.add_primary_input(nets.set_in);
+  nl.add_primary_input(nets.reset_in);
+
+  // Master stage: a pair of RS latches converting pulses into levels.
+  nets.master_set = nl.add_net("master_set");
+  nl.add_gate(Gate{.type = GateType::kRsLatch,
+                   .name = "master_s",
+                   .inputs = {nets.set_in, nets.reset_in},
+                   .outputs = {nets.master_set}});
+  nets.master_reset = nl.add_net("master_reset");
+  nl.add_gate(Gate{.type = GateType::kRsLatch,
+                   .name = "master_r",
+                   .inputs = {nets.reset_in, nets.set_in},
+                   .outputs = {nets.master_reset}});
+
+  // Filter stage: inertial threshold elements (first filtering stage).
+  nets.slave_set = nl.add_net("slave_set");
+  nl.add_gate(Gate{.type = GateType::kInertialDelay,
+                   .name = "filter_s",
+                   .inputs = {nets.master_set},
+                   .outputs = {nets.slave_set},
+                   .explicit_delay = omega});
+  nets.slave_reset = nl.add_net("slave_reset");
+  nl.add_gate(Gate{.type = GateType::kInertialDelay,
+                   .name = "filter_r",
+                   .inputs = {nets.master_reset},
+                   .outputs = {nets.slave_reset},
+                   .explicit_delay = omega});
+
+  // Slave stage: RS latch pair producing the dual-rail outputs.
+  nets.q = nl.add_net("q");
+  nl.add_gate(Gate{.type = GateType::kRsLatch,
+                   .name = "slave_q",
+                   .inputs = {nets.slave_set, nets.slave_reset},
+                   .outputs = {nets.q}});
+  nets.qb = nl.add_net("qb");
+  nl.add_gate(Gate{.type = GateType::kRsLatch,
+                   .name = "slave_qb",
+                   .inputs = {nets.slave_reset, nets.slave_set},
+                   .outputs = {nets.qb}});
+
+  nl.add_primary_output(nets.q);
+  nl.add_primary_output(nets.qb);
+  nl.check_well_formed();
+  return model;
+}
+
+}  // namespace nshot::sim

@@ -1,0 +1,44 @@
+// Structural three-stage model of the MHS flip-flop (Figure 5):
+//
+//   master RS latch pair  ->  hazard filter  ->  slave RS latch pair
+//
+// The master latches convert input pulses into levels (they can bounce when
+// set and reset excitations overlap, which is what the acknowledgement
+// scheme of the architecture prevents in a complete circuit).  The filter
+// is modelled with inertial delay elements of threshold ω — the digital
+// abstraction of the "degenerated inverter" stage: excitations narrower
+// than ω are absorbed, so the filter's up-transitions are hazard-free
+// (first filtering stage) while its down-transitions may still be hazardous
+// (Figure 6).  The slave RS latches remove the hazardous down-transitions
+// (second filtering stage) and provide the dual-rail q/qb outputs.
+//
+// This model exists to regenerate the Figure 6 waveforms and to
+// property-test the behavioural MHS primitive of the event simulator
+// against an independent structural realization.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace nshot::sim {
+
+/// Net names exposed by the structural model.
+struct StructuralMhsNets {
+  netlist::NetId set_in = -1;
+  netlist::NetId reset_in = -1;
+  netlist::NetId master_set = -1;
+  netlist::NetId master_reset = -1;
+  netlist::NetId slave_set = -1;   // filter output, set side
+  netlist::NetId slave_reset = -1; // filter output, reset side
+  netlist::NetId q = -1;
+  netlist::NetId qb = -1;
+};
+
+struct StructuralMhs {
+  netlist::Netlist circuit;
+  StructuralMhsNets nets;
+};
+
+/// Build the three-stage structural MHS with filter threshold `omega`.
+StructuralMhs build_structural_mhs(double omega);
+
+}  // namespace nshot::sim

@@ -1,0 +1,52 @@
+// Value Change Dump (IEEE 1364) trace writer for the event simulator, so
+// simulations can be inspected in any waveform viewer (GTKWave etc.) —
+// the role the paper's VERILOG traces played in Section V.
+//
+// Usage: construct a VcdRecorder over the netlist, install its observer
+// on the simulator (or chain it from your own observer), run, then
+// `write()` the collected trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/event_sim.hpp"
+
+namespace nshot::sim {
+
+/// Collects net value changes and renders them as VCD text.
+class VcdRecorder {
+ public:
+  /// Records every net of `netlist`; `timescale` is the VCD unit label
+  /// for one simulator time unit (purely cosmetic).
+  explicit VcdRecorder(const netlist::Netlist& netlist, std::string timescale = "1ns");
+
+  /// Observer to install on the simulator.  Initial values must be
+  /// captured by calling `capture_initial` after Simulator::initialize.
+  NetObserver observer();
+
+  /// Record the post-initialization value of every net at time 0.
+  void capture_initial(const Simulator& sim);
+
+  /// Render the collected trace as VCD text.
+  std::string write() const;
+
+ private:
+  struct Change {
+    double time;
+    netlist::NetId net;
+    bool value;
+  };
+
+  /// Compact VCD identifier for net `n` (printable-ASCII base-94).
+  static std::string id_for(netlist::NetId n);
+
+  const netlist::Netlist& netlist_;
+  std::string timescale_;
+  std::vector<bool> initial_;
+  bool have_initial_ = false;
+  std::vector<Change> changes_;
+};
+
+}  // namespace nshot::sim

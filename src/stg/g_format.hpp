@@ -1,0 +1,24 @@
+// Reader/writer for the astg ".g" text format used by SIS, petrify and the
+// classic asynchronous benchmark suites.
+//
+// Supported sections: .model/.name, .inputs, .outputs, .internal, .dummy,
+// .graph, .marking { ... }, .init (our extension for explicit initial
+// signal values), .end.  Dummy transitions are internal sequencing events
+// that reachability eliminates by eager saturation (they must be
+// confusion-free; see reachability.hpp).
+#pragma once
+
+#include <string>
+
+#include "stg/stg.hpp"
+
+namespace nshot::stg {
+
+/// Parse .g text into an STG; throws nshot::Error with a line-accurate
+/// message on malformed input.
+Stg parse_g(const std::string& text);
+
+/// Render an STG back to .g text (roundtrips through parse_g).
+std::string write_g(const Stg& stg);
+
+}  // namespace nshot::stg

@@ -1,0 +1,215 @@
+#include "stg/sg_format.hpp"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace nshot::stg {
+namespace {
+
+struct RawEdge {
+  int from;
+  int signal;
+  bool rising;
+  int to;
+};
+
+}  // namespace
+
+sg::StateGraph parse_sg(const std::string& text) {
+  std::istringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  std::string model_name;
+  std::vector<std::pair<std::string, sg::SignalKind>> signals;
+  std::map<std::string, int> state_ids;
+  std::vector<RawEdge> edges;
+  std::optional<int> initial;
+  std::map<std::string, std::optional<bool>> declared_init;
+  bool in_graph = false;
+
+  auto signal_index = [&signals](const std::string& name) -> std::optional<int> {
+    for (std::size_t i = 0; i < signals.size(); ++i)
+      if (signals[i].first == name) return static_cast<int>(i);
+    return std::nullopt;
+  };
+  auto state_index = [&state_ids](const std::string& name) {
+    const auto [it, inserted] = state_ids.emplace(name, static_cast<int>(state_ids.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string line = strip_comment_and_trim(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string> tokens = split_ws(line);
+    const std::string& head = tokens[0];
+
+    if (head == ".model" || head == ".name") {
+      if (tokens.size() >= 2) model_name = tokens[1];
+    } else if (head == ".inputs" || head == ".outputs" || head == ".internal") {
+      const sg::SignalKind kind =
+          head == ".inputs" ? sg::SignalKind::kInput : sg::SignalKind::kNonInput;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        NSHOT_REQUIRE(!signal_index(tokens[i]).has_value(),
+                      "line " + std::to_string(line_no) + ": duplicate signal " + tokens[i]);
+        signals.emplace_back(tokens[i], kind);
+        declared_init.emplace(tokens[i], std::nullopt);
+      }
+    } else if (head == ".state") {
+      NSHOT_REQUIRE(tokens.size() >= 2 && tokens[1] == "graph",
+                    "line " + std::to_string(line_no) + ": expected '.state graph'");
+      in_graph = true;
+    } else if (head == ".marking") {
+      std::string joined;
+      for (std::size_t i = 1; i < tokens.size(); ++i) joined += tokens[i] + " ";
+      const std::size_t open = joined.find('{');
+      const std::size_t close = joined.find('}');
+      NSHOT_REQUIRE(open != std::string::npos && close != std::string::npos && close > open,
+                    "line " + std::to_string(line_no) + ": .marking must be { state }");
+      const std::vector<std::string> inside =
+          split_ws(joined.substr(open + 1, close - open - 1));
+      NSHOT_REQUIRE(inside.size() == 1,
+                    "line " + std::to_string(line_no) + ": .marking of an SG names one state");
+      NSHOT_REQUIRE(state_ids.contains(inside[0]),
+                    "line " + std::to_string(line_no) + ": unknown initial state " + inside[0]);
+      initial = state_ids.at(inside[0]);
+    } else if (head == ".init") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::size_t eq = tokens[i].find('=');
+        NSHOT_REQUIRE(eq != std::string::npos && eq + 1 < tokens[i].size(),
+                      "line " + std::to_string(line_no) + ": .init expects name=0|1");
+        const std::string name = tokens[i].substr(0, eq);
+        NSHOT_REQUIRE(declared_init.contains(name),
+                      "line " + std::to_string(line_no) + ": unknown signal " + name);
+        declared_init[name] = tokens[i].substr(eq + 1) == "1";
+      }
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      NSHOT_REQUIRE(false, "line " + std::to_string(line_no) + ": unsupported directive " + head);
+    } else {
+      NSHOT_REQUIRE(in_graph,
+                    "line " + std::to_string(line_no) + ": arc outside '.state graph'");
+      NSHOT_REQUIRE(tokens.size() == 3,
+                    "line " + std::to_string(line_no) + ": expected 'FROM label TO'");
+      const std::string& label = tokens[1];
+      NSHOT_REQUIRE(label.size() >= 2 && (label.back() == '+' || label.back() == '-'),
+                    "line " + std::to_string(line_no) + ": bad transition label " + label);
+      const std::string signal_name = label.substr(0, label.size() - 1);
+      const auto signal = signal_index(signal_name);
+      NSHOT_REQUIRE(signal.has_value(), "line " + std::to_string(line_no) +
+                                            ": undeclared signal " + signal_name);
+      edges.push_back(
+          RawEdge{state_index(tokens[0]), *signal, label.back() == '+', state_index(tokens[2])});
+    }
+  }
+
+  NSHOT_REQUIRE(!state_ids.empty(), ".sg file declares no states");
+  NSHOT_REQUIRE(initial.has_value(), ".sg file has no .marking { initial-state }");
+
+  // Adjacency for the code-reconstruction BFS.
+  const int num_states = static_cast<int>(state_ids.size());
+  std::vector<std::vector<RawEdge>> out(static_cast<std::size_t>(num_states));
+  for (const RawEdge& e : edges) out[static_cast<std::size_t>(e.from)].push_back(e);
+
+  // Initial signal values: declared, or the polarity of the first firing
+  // discovered by BFS (consistent SGs fire +x first iff x starts at 0).
+  std::vector<std::optional<bool>> init_values(signals.size());
+  for (std::size_t i = 0; i < signals.size(); ++i)
+    init_values[i] = declared_init.at(signals[i].first);
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(num_states), false);
+    std::deque<int> queue{*initial};
+    seen[static_cast<std::size_t>(*initial)] = true;
+    while (!queue.empty()) {
+      const int s = queue.front();
+      queue.pop_front();
+      for (const RawEdge& e : out[static_cast<std::size_t>(s)]) {
+        auto& value = init_values[static_cast<std::size_t>(e.signal)];
+        if (!value) value = !e.rising;
+        if (!seen[static_cast<std::size_t>(e.to)]) {
+          seen[static_cast<std::size_t>(e.to)] = true;
+          queue.push_back(e.to);
+        }
+      }
+    }
+    for (int s = 0; s < num_states; ++s)
+      NSHOT_REQUIRE(seen[static_cast<std::size_t>(s)],
+                    ".sg file has states unreachable from the initial state");
+  }
+  std::uint64_t initial_code = 0;
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    NSHOT_REQUIRE(init_values[i].has_value(), "signal " + signals[i].first +
+                                                  " never fires; declare it with .init");
+    if (*init_values[i]) initial_code |= (1ULL << i);
+  }
+
+  // Propagate codes; detect inconsistent assignments.
+  std::vector<std::optional<std::uint64_t>> codes(static_cast<std::size_t>(num_states));
+  codes[static_cast<std::size_t>(*initial)] = initial_code;
+  std::deque<int> queue{*initial};
+  while (!queue.empty()) {
+    const int s = queue.front();
+    queue.pop_front();
+    const std::uint64_t code = *codes[static_cast<std::size_t>(s)];
+    for (const RawEdge& e : out[static_cast<std::size_t>(s)]) {
+      const std::uint64_t bit = 1ULL << e.signal;
+      NSHOT_REQUIRE(((code & bit) != 0) != e.rising,
+                    "inconsistent .sg: " + signals[static_cast<std::size_t>(e.signal)].first +
+                        (e.rising ? "+" : "-") + " fires from a state where the signal is already " +
+                        (e.rising ? "1" : "0"));
+      const std::uint64_t next = e.rising ? (code | bit) : (code & ~bit);
+      auto& slot = codes[static_cast<std::size_t>(e.to)];
+      if (!slot) {
+        slot = next;
+        queue.push_back(e.to);
+      } else {
+        NSHOT_REQUIRE(*slot == next,
+                      "inconsistent .sg: one state is reached with two different codes");
+      }
+    }
+  }
+
+  sg::StateGraph graph(model_name.empty() ? "unnamed" : model_name);
+  for (const auto& [name, kind] : signals) graph.add_signal(name, kind);
+  for (int s = 0; s < num_states; ++s) graph.add_state(*codes[static_cast<std::size_t>(s)]);
+  for (const RawEdge& e : edges)
+    graph.add_edge(e.from, sg::TransitionLabel{e.signal, e.rising}, e.to);
+  graph.set_initial(*initial);
+  return graph;
+}
+
+std::string write_sg(const sg::StateGraph& graph) {
+  std::ostringstream out;
+  out << ".model " << (graph.name().empty() ? "unnamed" : graph.name()) << "\n";
+  // Emit signals in index order (runs of one kind per directive line) so
+  // the parser reconstructs the same signal numbering and binary codes.
+  int x = 0;
+  while (x < graph.num_signals()) {
+    const bool input = graph.is_input(x);
+    out << (input ? ".inputs" : ".outputs");
+    while (x < graph.num_signals() && graph.is_input(x) == input)
+      out << " " << graph.signal(x++).name;
+    out << "\n";
+  }
+  out << ".state graph\n";
+  for (sg::StateId s = 0; s < graph.num_states(); ++s)
+    for (const sg::Edge& e : graph.out_edges(s))
+      out << "s" << s << " " << graph.label_name(e.label) << " s" << e.target << "\n";
+  out << ".marking { s" << graph.initial() << " }\n";
+  // Record every signal's initial value so constant signals roundtrip.
+  out << ".init";
+  for (int x = 0; x < graph.num_signals(); ++x)
+    out << " " << graph.signal(x).name << "=" << (graph.value(graph.initial(), x) ? "1" : "0");
+  out << "\n.end\n";
+  return out.str();
+}
+
+}  // namespace nshot::stg

@@ -1,0 +1,36 @@
+// Reader/writer for the SIS ".sg" state-graph text format — the format the
+// paper's tsbmsi benchmarks were "given in" (Table 2 note (4): SIS's STG
+// frontend cannot read it, while ASSASSIN consumes it directly).
+//
+// Layout:
+//   .model NAME
+//   .inputs  a b ...
+//   .outputs c d ...          (.internal also accepted)
+//   .state graph
+//   s0 a+ s1
+//   s1 c+ s2
+//   ...
+//   .marking { s0 }           (the initial state)
+//   .end
+//
+// State names are arbitrary identifiers.  Binary codes are reconstructed
+// from the transition labels exactly like the STG reachability pass: the
+// initial value of every signal is declared via ".init name=0|1" or
+// inferred from the polarity of its first transition along some path from
+// the initial state; the resulting assignment is checked for consistency.
+#pragma once
+
+#include <string>
+
+#include "sg/state_graph.hpp"
+
+namespace nshot::stg {
+
+/// Parse .sg text into a state graph; throws nshot::Error with a
+/// line-accurate message on malformed or inconsistent input.
+sg::StateGraph parse_sg(const std::string& text);
+
+/// Render a state graph to .sg text (roundtrips through parse_sg).
+std::string write_sg(const sg::StateGraph& graph);
+
+}  // namespace nshot::stg

@@ -1,0 +1,111 @@
+// Signal Transition Graph (STG): a 1-safe Petri net whose transitions are
+// labelled with signal transitions (+x / -x).  STGs are the most common
+// high-level entry point for the paper's flow: their reachability graph,
+// annotated with consistent binary codes, is the state graph (Section III).
+//
+// The model supports explicit places, implicit places (arcs between two
+// transitions), multiple transition instances of one signal (a+/2), and
+// dummy (unlabelled) transitions, which are eliminated during
+// reachability by eager saturation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nshot::stg {
+
+using TransitionId = int;
+using PlaceId = int;
+
+enum class SignalKind { kInput, kOutput, kInternal };
+
+struct StgSignal {
+  std::string name;
+  SignalKind kind;
+};
+
+/// An STG transition: the `instance` distinguishes multiple occurrences of
+/// the same signal transition (written a+/2 in the .g format).  Dummy
+/// (unlabelled, signal < 0) transitions are internal sequencing events
+/// with no signal semantics; reachability eliminates them by eager
+/// saturation (see reachability.hpp).
+struct StgTransition {
+  int signal = -1;  // < 0: dummy transition
+  bool rising = true;
+  int instance = 1;
+
+  bool is_dummy() const { return signal < 0; }
+};
+
+/// 1-safe labelled Petri net.
+class Stg {
+ public:
+  Stg() = default;
+  explicit Stg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- construction -------------------------------------------------------
+  int add_signal(const std::string& name, SignalKind kind);
+  TransitionId add_transition(int signal, bool rising, int instance = 1);
+  /// Add a dummy (unlabelled) transition with the given display name.
+  TransitionId add_dummy_transition(const std::string& name);
+  PlaceId add_place(const std::string& name);
+  void add_arc_place_to_transition(PlaceId p, TransitionId t);
+  void add_arc_transition_to_place(TransitionId t, PlaceId p);
+  /// Convenience: implicit place between two transitions.
+  PlaceId connect(TransitionId from, TransitionId to);
+  void mark_place(PlaceId p, bool token = true);
+  /// Explicit initial value for a signal (required only for signals that
+  /// never fire; otherwise inferred from the first firing polarity).
+  void set_initial_value(int signal, bool value);
+
+  // --- access -------------------------------------------------------------
+  int num_signals() const { return static_cast<int>(signals_.size()); }
+  const StgSignal& signal(int i) const { return signals_[static_cast<std::size_t>(i)]; }
+  std::optional<int> find_signal(const std::string& name) const;
+
+  int num_transitions() const { return static_cast<int>(transitions_.size()); }
+  const StgTransition& transition(TransitionId t) const {
+    return transitions_[static_cast<std::size_t>(t)];
+  }
+  /// Find the transition for signal/polarity/instance, if declared.
+  std::optional<TransitionId> find_transition(int signal, bool rising, int instance) const;
+  /// Find a dummy transition by its display name.
+  std::optional<TransitionId> find_dummy_transition(const std::string& name) const;
+  std::string transition_name(TransitionId t) const;
+  bool has_dummies() const;
+
+  int num_places() const { return static_cast<int>(place_names_.size()); }
+  const std::string& place_name(PlaceId p) const {
+    return place_names_[static_cast<std::size_t>(p)];
+  }
+  std::optional<PlaceId> find_place(const std::string& name) const;
+
+  const std::vector<PlaceId>& preset(TransitionId t) const {
+    return pre_[static_cast<std::size_t>(t)];
+  }
+  const std::vector<PlaceId>& postset(TransitionId t) const {
+    return post_[static_cast<std::size_t>(t)];
+  }
+  const std::vector<bool>& initial_marking() const { return marking_; }
+  const std::vector<std::optional<bool>>& declared_initial_values() const {
+    return initial_values_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<StgSignal> signals_;
+  std::vector<StgTransition> transitions_;
+  std::vector<std::string> dummy_names_;  // parallel: empty for labelled transitions
+  std::vector<std::string> place_names_;
+  std::vector<std::vector<PlaceId>> pre_;   // per transition
+  std::vector<std::vector<PlaceId>> post_;  // per transition
+  std::vector<bool> marking_;
+  std::vector<std::optional<bool>> initial_values_;
+};
+
+}  // namespace nshot::stg

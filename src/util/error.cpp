@@ -1,0 +1,9 @@
+#include "util/error.hpp"
+
+namespace nshot {
+
+void raise_error(const char* file, int line, const std::string& message) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace nshot

@@ -1,0 +1,34 @@
+// Error handling helpers shared by all nshot libraries.
+//
+// All precondition violations and invalid-input conditions are reported by
+// throwing nshot::Error (a std::runtime_error).  The NSHOT_REQUIRE macro is
+// used at public API boundaries; internal invariants use NSHOT_ASSERT which
+// also throws (never aborts) so that library users can recover.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nshot {
+
+/// Base exception type for all errors raised by the nshot libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void raise_error(const char* file, int line, const std::string& message);
+
+}  // namespace nshot
+
+/// Check a caller-visible precondition; throws nshot::Error on failure.
+#define NSHOT_REQUIRE(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) ::nshot::raise_error(__FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws nshot::Error on failure.
+#define NSHOT_ASSERT(cond, msg)                                                            \
+  do {                                                                                     \
+    if (!(cond)) ::nshot::raise_error(__FILE__, __LINE__, std::string("internal: ") + (msg)); \
+  } while (false)

@@ -1,0 +1,46 @@
+#include "util/rng.hpp"
+
+namespace nshot {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  state_ = splitmix64(s);
+  if (state_ == 0) state_ = 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * (~0ULL / bound);
+  std::uint64_t value = next_u64();
+  while (value >= limit) value = next_u64();
+  return value % bound;
+}
+
+double Rng::next_double(double lo, double hi) {
+  const double unit = static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::next_bool(double p) { return next_double(0.0, 1.0) < p; }
+
+}  // namespace nshot

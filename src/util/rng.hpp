@@ -1,0 +1,31 @@
+// Deterministic pseudo-random number generator used by the simulator and
+// the property tests.  A small, explicit PRNG (splitmix64/xorshift) keeps
+// randomized tests reproducible across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace nshot {
+
+/// Deterministic 64-bit PRNG (xorshift* seeded through splitmix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nshot

@@ -1,0 +1,33 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace nshot {
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string strip_comment_and_trim(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::size_t begin = 0;
+  while (begin < line.size() && std::isspace(static_cast<unsigned char>(line[begin]))) ++begin;
+  std::size_t end = line.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(line[end - 1]))) --end;
+  return std::string(line.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace nshot

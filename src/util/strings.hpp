@@ -1,0 +1,19 @@
+// Small string utilities used by the text-format parsers (.g, PLA).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nshot {
+
+/// Split `text` on whitespace (spaces and tabs); empty tokens are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace and a trailing '#'-comment if present.
+std::string strip_comment_and_trim(std::string_view line);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace nshot

@@ -1,0 +1,109 @@
+// Tests for the reimplemented comparator methods (Table 2 columns) and
+// their documented failure modes (footnotes (1) and (2)).
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "nshot/synthesis.hpp"
+
+namespace nshot::baselines {
+namespace {
+
+TEST(SynLikeTest, SucceedsOnDistributiveBenchmarks) {
+  for (const char* name : {"chu133", "chu172", "full", "ebergen", "converta"}) {
+    const auto outcome = synthesize_syn_like(bench_suite::build_benchmark(name));
+    ASSERT_TRUE(outcome.ok()) << name;
+    EXPECT_GT(outcome.result->stats.area, 0.0);
+    // One C-element per non-input signal.
+    int c_elements = 0;
+    for (const auto& gate : outcome.result->circuit.gates())
+      if (gate.type == gatelib::GateType::kCElement) ++c_elements;
+    const sg::StateGraph g = bench_suite::build_benchmark(name);
+    EXPECT_EQ(c_elements, static_cast<int>(g.noninput_signals().size())) << name;
+  }
+}
+
+TEST(SynLikeTest, RejectsNonDistributiveWithNote1) {
+  for (const char* name : {"pmcm1", "pmcm2", "combuf1", "sing2dual-out"}) {
+    const auto outcome = synthesize_syn_like(bench_suite::build_benchmark(name));
+    ASSERT_FALSE(outcome.ok()) << name;
+    EXPECT_EQ(*outcome.failure, Failure::kNonDistributive) << name;
+  }
+}
+
+TEST(SynLikeTest, ReadWriteNeedsStateSignalsNote2) {
+  // The two excitation regions of c overlap in code space: no per-region
+  // monotonous cube exists (Table 2 note (2) for SYN version 2.3).
+  const auto outcome = synthesize_syn_like(bench_suite::build_benchmark("read-write"));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(*outcome.failure, Failure::kNeedsStateSignals);
+  // N-SHOT handles the same graph (Theorem 2 needs only CSC + trigger).
+  EXPECT_NO_THROW(core::synthesize(bench_suite::build_benchmark("read-write")));
+}
+
+TEST(SisLikeTest, SucceedsOnDistributiveAndCountsPads) {
+  const auto outcome = synthesize_sis_like(bench_suite::build_benchmark("chu133"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome.result->hazard_fixes, 0);  // feedback literals need pads
+  int pads = 0;
+  for (const auto& gate : outcome.result->circuit.gates())
+    if (gate.type == gatelib::GateType::kInertialDelay) ++pads;
+  EXPECT_EQ(pads, outcome.result->hazard_fixes);
+}
+
+TEST(SisLikeTest, PadsLengthenTheCriticalPath) {
+  // vbe10b's next-state logic is feedback-free (outputs follow the master
+  // input), so SIS-like needs no pads and is FASTER than N-SHOT — the
+  // chu172 phenomenon of Table 2.  chu133 needs pads and is slower.
+  const auto fast = synthesize_sis_like(bench_suite::build_benchmark("vbe10b"));
+  ASSERT_TRUE(fast.ok());
+  const auto padded = synthesize_sis_like(bench_suite::build_benchmark("chu133"));
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(fast.result->hazard_fixes, 0);
+  EXPECT_LT(fast.result->stats.delay, padded.result->stats.delay);
+
+  const core::SynthesisResult nshot_fast =
+      core::synthesize(bench_suite::build_benchmark("vbe10b"));
+  EXPECT_LT(fast.result->stats.delay, nshot_fast.stats.delay);
+  const core::SynthesisResult nshot_padded =
+      core::synthesize(bench_suite::build_benchmark("chu133"));
+  EXPECT_GT(padded.result->stats.delay, nshot_padded.stats.delay);
+}
+
+TEST(SisLikeTest, RejectsNonDistributive) {
+  const auto outcome = synthesize_sis_like(bench_suite::build_benchmark("pmcm2"));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(*outcome.failure, Failure::kNonDistributive);
+}
+
+TEST(ComplexGateTest, HandlesEverythingImplementable) {
+  // The complex-gate reference has no distributivity restriction.
+  for (const char* name : {"chu172", "pmcm2", "read-write"}) {
+    const auto outcome = synthesize_complex_gate(bench_suite::build_benchmark(name));
+    ASSERT_TRUE(outcome.ok()) << name;
+    EXPECT_GT(outcome.result->stats.area, 0.0);
+  }
+}
+
+TEST(BaselineTest, FailureTextsMatchTableFootnotes) {
+  EXPECT_NE(failure_text(Failure::kNonDistributive).find("(1)"), std::string::npos);
+  EXPECT_NE(failure_text(Failure::kNeedsStateSignals).find("(2)"), std::string::npos);
+}
+
+TEST(BaselineTest, AreaComparisonShape) {
+  // The qualitative Table 2 shape on a mid-size distributive circuit:
+  // every method produces a valid netlist and the N-SHOT delay is
+  // level-quantized like the others.
+  const sg::StateGraph g = bench_suite::build_benchmark("hybridf");
+  const auto sis = synthesize_sis_like(g);
+  const auto syn = synthesize_syn_like(g);
+  const core::SynthesisResult nshot = core::synthesize(g);
+  ASSERT_TRUE(sis.ok());
+  ASSERT_TRUE(syn.ok());
+  EXPECT_GT(sis.result->stats.delay, nshot.stats.delay);   // pads cost time
+  EXPECT_GT(nshot.stats.area, 0.0);
+  EXPECT_GT(syn.result->stats.area, 0.0);
+}
+
+}  // namespace
+}  // namespace nshot::baselines

@@ -1,0 +1,96 @@
+// Fidelity tests for the benchmark reconstructions: every circuit of the
+// Table 2 suite must satisfy the paper's preconditions, sit on the right
+// side of the distributive split, and approximate the reported state count.
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/generators.hpp"
+#include "sg/properties.hpp"
+#include "sg/regions.hpp"
+#include "util/error.hpp"
+
+namespace nshot::bench_suite {
+namespace {
+
+class BenchmarkFidelityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkFidelityTest, SatisfiesPaperPreconditions) {
+  const BenchmarkInfo& info = find_benchmark(GetParam());
+  const sg::StateGraph g = info.build();
+  EXPECT_TRUE(sg::check_consistency(g).ok());
+  EXPECT_TRUE(sg::check_reachability(g).ok());
+  EXPECT_TRUE(sg::check_semi_modular(g).ok()) << sg::check_semi_modular(g).summary();
+  EXPECT_TRUE(sg::check_csc(g).ok()) << sg::check_csc(g).summary();
+}
+
+TEST_P(BenchmarkFidelityTest, DistributivityMatchesTablePart) {
+  const BenchmarkInfo& info = find_benchmark(GetParam());
+  const sg::StateGraph g = info.build();
+  EXPECT_EQ(sg::is_distributive(g), !info.nondistributive);
+}
+
+TEST_P(BenchmarkFidelityTest, StateCountNearPaper) {
+  const BenchmarkInfo& info = find_benchmark(GetParam());
+  const sg::StateGraph g = info.build();
+  const double ratio = static_cast<double>(g.num_states()) / info.paper_states;
+  EXPECT_GE(ratio, 0.5) << "paper " << info.paper_states << " vs " << g.num_states();
+  EXPECT_LE(ratio, 1.5) << "paper " << info.paper_states << " vs " << g.num_states();
+}
+
+std::vector<std::string> small_and_medium_names() {
+  std::vector<std::string> names;
+  for (const BenchmarkInfo& info : all_benchmarks())
+    if (info.paper_states <= 400) names.push_back(info.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchmarkFidelityTest,
+                         ::testing::ValuesIn(small_and_medium_names()));
+
+TEST(BenchmarkRegistryTest, HasAllTwentyFiveCircuits) {
+  EXPECT_EQ(all_benchmarks().size(), 25u);
+  EXPECT_THROW(find_benchmark("nope"), Error);
+}
+
+TEST(BenchmarkRegistryTest, SgFormatFlagsMatchTableNote4) {
+  EXPECT_TRUE(find_benchmark("tsbmsi").sg_format);
+  EXPECT_TRUE(find_benchmark("tsbmsiBRK").sg_format);
+  EXPECT_FALSE(find_benchmark("chu133").sg_format);
+}
+
+TEST(BenchmarkRegistryTest, LargeBenchmarksBuildAndCheck) {
+  for (const char* name : {"master-read", "tsbmsi", "tsbmsiBRK"}) {
+    const BenchmarkInfo& info = find_benchmark(name);
+    const sg::StateGraph g = info.build();
+    EXPECT_TRUE(sg::check_consistency(g).ok()) << name;
+    EXPECT_TRUE(sg::check_csc(g).ok()) << name;
+    const double ratio = static_cast<double>(g.num_states()) / info.paper_states;
+    EXPECT_GE(ratio, 0.5) << name;
+    EXPECT_LE(ratio, 1.5) << name;
+  }
+}
+
+TEST(GeneratorTest, StagedCycleRejectsDegenerateInput) {
+  EXPECT_THROW(staged_cycle_g("t", {"a"}, {}, {{"a+"}}), Error);
+  EXPECT_THROW(choice_cycle_g("t", {"a"}, {}, {}), Error);
+}
+
+TEST(GeneratorTest, ProductMultipliesStates) {
+  const sg::StateGraph a = or_causality_cell("a", "u");
+  const sg::StateGraph b = or_causality_cell("b", "v");
+  const sg::StateGraph p = sg_product(a, b, "p");
+  EXPECT_EQ(p.num_states(), a.num_states() * b.num_states());
+  EXPECT_EQ(p.num_signals(), a.num_signals() + b.num_signals());
+  EXPECT_TRUE(sg::check_implementability(p).ok());
+}
+
+TEST(GeneratorTest, OrCellIsTheFigure1Pattern) {
+  const sg::StateGraph cell = or_causality_cell("cell", "");
+  EXPECT_EQ(cell.num_states(), 14);
+  EXPECT_FALSE(sg::is_distributive(cell));
+  EXPECT_TRUE(sg::check_implementability(cell).ok());
+  EXPECT_TRUE(sg::is_single_traversal(cell));
+}
+
+}  // namespace
+}  // namespace nshot::bench_suite

@@ -1,0 +1,176 @@
+// White-box tests of the ESPRESSO loop's individual steps (EXPAND,
+// IRREDUNDANT, REDUCE) and structured function families with known
+// minimum-cover sizes.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "logic/espresso.hpp"
+#include "logic/exact.hpp"
+#include "logic/verify.hpp"
+
+namespace nshot::logic {
+namespace {
+
+TwoLevelSpec completely_specified(int n, auto&& f) {
+  TwoLevelSpec spec(n, 1);
+  for (std::uint64_t m = 0; m < (1ULL << n); ++m) f(m) ? spec.add_on(0, m) : spec.add_off(0, m);
+  spec.normalize();
+  return spec;
+}
+
+// ----------------------------------------------------------- the steps --
+
+TEST(EspressoStepsTest, ExpandRaisesMintermsToPrimes) {
+  // f = x0 over 3 vars, given as 4 minterm cubes: EXPAND must collapse
+  // them into the single literal cube.
+  const TwoLevelSpec spec =
+      completely_specified(3, [](std::uint64_t m) { return (m & 1) != 0; });
+  Cover cover(3, 1);
+  for (const std::uint64_t m : spec.on(0)) cover.add(Cube::minterm(m, 3, 1));
+  espresso_expand(cover, spec, /*share_outputs=*/true);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].literal_count(), 1);
+  EXPECT_TRUE(verify_cover(spec, cover).ok);
+}
+
+TEST(EspressoStepsTest, ExpandNeverCoversOffMinterms) {
+  const TwoLevelSpec spec = completely_specified(
+      4, [](std::uint64_t m) { return std::popcount(m) % 2 == 1; });  // parity
+  Cover cover(4, 1);
+  for (const std::uint64_t m : spec.on(0)) cover.add(Cube::minterm(m, 4, 1));
+  espresso_expand(cover, spec, true);
+  EXPECT_TRUE(verify_cover(spec, cover).ok);
+  // Parity has no don't cares and no adjacent on-minterms: nothing raises.
+  EXPECT_EQ(cover.size(), 8u);
+  for (const Cube& c : cover) EXPECT_EQ(c.literal_count(), 4);
+}
+
+TEST(EspressoStepsTest, IrredundantDropsCoveredCubes) {
+  const TwoLevelSpec spec =
+      completely_specified(2, [](std::uint64_t m) { return m != 0; });  // x0 + x1
+  Cover cover(2, 1);
+  Cube a = Cube::full(2, 1);
+  a.restrict_var(0, true);  // x0
+  Cube b = Cube::full(2, 1);
+  b.restrict_var(1, true);  // x1
+  cover.add(a);
+  cover.add(b);
+  cover.add(Cube::minterm(0b11, 2, 1));  // redundant corner
+  espresso_irredundant(cover, spec);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(verify_irredundant(spec, cover).ok);
+}
+
+TEST(EspressoStepsTest, ReduceShrinksToEssentialMinterms) {
+  // Two overlapping cubes; REDUCE shrinks each to the part only it covers
+  // (plus nothing else), keeping total coverage.
+  const TwoLevelSpec spec =
+      completely_specified(2, [](std::uint64_t m) { return m != 0; });
+  Cover cover(2, 1);
+  Cube a = Cube::full(2, 1);
+  a.restrict_var(0, true);
+  Cube b = Cube::full(2, 1);
+  b.restrict_var(1, true);
+  cover.add(a);
+  cover.add(b);
+  espresso_reduce(cover, spec);
+  EXPECT_TRUE(verify_cover(spec, cover).ok);
+  // The overlap minterm 11 stays covered by exactly one of the two.
+  EXPECT_EQ(cover.covering_cubes(0b11, 0).size(), 1u);
+}
+
+TEST(EspressoStepsTest, ReduceRedistributesAndExpandRecovers) {
+  // REDUCE processes the widest cube first and may shed its shared
+  // minterms onto narrower cubes (that is its job — escaping local
+  // minima); the following EXPAND + IRREDUNDANT must recover the optimum.
+  const TwoLevelSpec spec =
+      completely_specified(2, [](std::uint64_t m) { return (m & 1) != 0; });
+  Cover cover(2, 1);
+  Cube a = Cube::full(2, 1);
+  a.restrict_var(0, true);  // x0: covers everything needed
+  cover.add(a);
+  cover.add(Cube::minterm(0b01, 2, 1));  // subsumed
+  espresso_reduce(cover, spec);
+  EXPECT_TRUE(verify_cover(spec, cover).ok);  // coverage never lost
+  espresso_expand(cover, spec, true);
+  espresso_irredundant(cover, spec);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].literal_count(), 1);
+}
+
+// -------------------------------------------- known-optimal families --
+
+TEST(EspressoStepsTest, ParityNeedsExponentialCubes) {
+  // k-input parity has minimum SOP size 2^(k-1): a hard lower bound any
+  // correct minimizer must land on exactly (no don't cares to exploit).
+  for (int k = 2; k <= 5; ++k) {
+    const TwoLevelSpec spec = completely_specified(
+        k, [](std::uint64_t m) { return std::popcount(m) % 2 == 1; });
+    const Cover heuristic = espresso(spec);
+    EXPECT_TRUE(verify_cover(spec, heuristic).ok);
+    EXPECT_EQ(heuristic.size(), 1u << (k - 1)) << "parity-" << k;
+    const Cover exact = exact_minimize(spec);
+    EXPECT_EQ(exact.size(), 1u << (k - 1)) << "parity-" << k;
+  }
+}
+
+TEST(EspressoStepsTest, MajorityOfFiveIsTenCubes) {
+  // maj5's minimum SOP is C(5,3) = 10 three-literal products.
+  const TwoLevelSpec spec = completely_specified(
+      5, [](std::uint64_t m) { return std::popcount(m) >= 3; });
+  const Cover cover = exact_minimize(spec);
+  EXPECT_TRUE(verify_cover(spec, cover).ok);
+  EXPECT_EQ(cover.size(), 10u);
+  for (const Cube& c : cover) EXPECT_EQ(c.literal_count(), 3);
+}
+
+TEST(EspressoStepsTest, AndOrLaddersCollapse) {
+  // f = x0 x1 + x2 x3 + x4 x5: exactly 3 cubes, 2 literals each.
+  const TwoLevelSpec spec = completely_specified(6, [](std::uint64_t m) {
+    return ((m & 0b000011) == 0b000011) || ((m & 0b001100) == 0b001100) ||
+           ((m & 0b110000) == 0b110000);
+  });
+  for (const bool exact : {false, true}) {
+    const Cover cover = exact ? exact_minimize(spec) : espresso(spec);
+    EXPECT_TRUE(verify_cover(spec, cover).ok);
+    EXPECT_EQ(cover.size(), 3u);
+    EXPECT_EQ(cover.literal_count(), 6);
+  }
+}
+
+TEST(EspressoStepsTest, TwoBitAdderSumAndCarry) {
+  // Full adder (a, b, cin) -> (sum, carry): sum is 3-parity (4 cubes),
+  // carry is maj3 (3 cubes); sharing cannot merge them (disjoint shapes).
+  TwoLevelSpec spec(3, 2);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const int ones = std::popcount(m);
+    (ones % 2 == 1) ? spec.add_on(0, m) : spec.add_off(0, m);
+    (ones >= 2) ? spec.add_on(1, m) : spec.add_off(1, m);
+  }
+  spec.normalize();
+  // Without sharing, the per-function optima are classic: 4 + 3 cubes.
+  EspressoOptions options;
+  options.share_outputs = false;
+  const Cover per_output = espresso(spec, options);
+  EXPECT_TRUE(verify_cover(spec, per_output).ok);
+  EXPECT_EQ(per_output.cube_count_for_output(0), 4);
+  EXPECT_EQ(per_output.cube_count_for_output(1), 3);
+  // With sharing the carry may reuse sum products; total gates never grow.
+  const Cover shared = espresso(spec);
+  EXPECT_TRUE(verify_cover(spec, shared).ok);
+  EXPECT_LE(shared.size(), per_output.size());
+}
+
+TEST(EspressoStepsTest, DontCareHalfSpaceCollapsesToConstantish) {
+  // On-set: one minterm; everything else don't care: a single full cube.
+  TwoLevelSpec spec(5, 1);
+  spec.add_on(0, 7);
+  spec.normalize();
+  const Cover cover = espresso(spec);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].literal_count(), 0);
+}
+
+}  // namespace
+}  // namespace nshot::logic

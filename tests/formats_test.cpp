@@ -1,0 +1,162 @@
+// Tests for the auxiliary interchange formats: the SIS .sg state-graph
+// format (Table 2 note (4)), the Verilog netlist writer, and DOT export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/generators.hpp"
+#include "gatelib/gate_library.hpp"
+#include "netlist/verilog.hpp"
+#include "nshot/synthesis.hpp"
+#include "sg/dot.hpp"
+#include "sg/properties.hpp"
+#include "stg/sg_format.hpp"
+#include "util/error.hpp"
+
+namespace nshot {
+namespace {
+
+// ------------------------------------------------------------ .sg format --
+
+TEST(SgFormatTest, ParsesHandWrittenGraph) {
+  const char* text =
+      ".model tiny\n"
+      ".inputs x\n"
+      ".outputs y\n"
+      ".state graph\n"
+      "s0 x+ s1\n"
+      "s1 y+ s2\n"
+      "s2 x- s3\n"
+      "s3 y- s0\n"
+      ".marking { s0 }\n"
+      ".end\n";
+  const sg::StateGraph g = stg::parse_sg(text);
+  EXPECT_EQ(g.num_states(), 4);
+  EXPECT_EQ(g.num_signals(), 2);
+  EXPECT_TRUE(sg::check_implementability(g).ok());
+  EXPECT_EQ(g.code(g.initial()), 0u);  // both signals inferred to start at 0
+}
+
+TEST(SgFormatTest, RoundTripsEveryMediumBenchmark) {
+  for (const char* name : {"chu172", "full", "pmcm2", "read-write"}) {
+    const sg::StateGraph original = bench_suite::build_benchmark(name);
+    const sg::StateGraph reparsed = stg::parse_sg(stg::write_sg(original));
+    ASSERT_EQ(reparsed.num_states(), original.num_states()) << name;
+    ASSERT_EQ(reparsed.num_signals(), original.num_signals()) << name;
+    // State ids may permute (the parser numbers states by first mention),
+    // but the multiset of binary codes must be identical.
+    std::vector<std::uint64_t> codes_a, codes_b;
+    for (sg::StateId s = 0; s < original.num_states(); ++s) {
+      codes_a.push_back(original.code(s));
+      codes_b.push_back(reparsed.code(s));
+    }
+    std::sort(codes_a.begin(), codes_a.end());
+    std::sort(codes_b.begin(), codes_b.end());
+    EXPECT_EQ(codes_a, codes_b) << name;
+    EXPECT_EQ(reparsed.code(reparsed.initial()), original.code(original.initial())) << name;
+    // And the synthesized circuits agree.
+    const core::SynthesisResult a = core::synthesize(original);
+    const core::SynthesisResult b = core::synthesize(reparsed);
+    EXPECT_EQ(a.stats.area, b.stats.area) << name;
+  }
+}
+
+TEST(SgFormatTest, RejectsMalformedInput) {
+  EXPECT_THROW(stg::parse_sg(".model t\n.state graph\n.end\n"), Error);  // no states
+  EXPECT_THROW(stg::parse_sg(".model t\n.inputs x\n.state graph\ns0 x+ s1\n.end\n"),
+               Error);  // no marking
+  EXPECT_THROW(stg::parse_sg(".model t\n.inputs x\n.state graph\ns0 y+ s1\n"
+                             ".marking { s0 }\n.end\n"),
+               Error);  // undeclared signal
+  EXPECT_THROW(stg::parse_sg(".model t\n.inputs x\n.state graph\n"
+                             "s0 x+ s1\ns1 x+ s2\n.marking { s0 }\n.end\n"),
+               Error);  // inconsistent (+ twice)
+}
+
+TEST(SgFormatTest, DetectsCodeConflictsViaTwoPaths) {
+  // Diamond where the two paths disagree on the code of the join state.
+  const char* text =
+      ".model bad\n.inputs x y\n.state graph\n"
+      "s0 x+ s1\ns0 y+ s2\ns1 y+ s3\ns2 x- s3\n"
+      ".marking { s0 }\n.end\n";
+  EXPECT_THROW(stg::parse_sg(text), Error);
+}
+
+TEST(SgFormatTest, ConstantSignalNeedsDeclaredInit) {
+  const char* base =
+      ".model t\n.inputs x c\n.outputs y\n.state graph\n"
+      "s0 x+ s1\ns1 y+ s2\ns2 x- s3\ns3 y- s0\n.marking { s0 }\n%%.end\n";
+  std::string without(base);
+  without.replace(without.find("%%"), 2, "");
+  EXPECT_THROW(stg::parse_sg(without), Error);
+  std::string with(base);
+  with.replace(with.find("%%"), 2, ".init c=1\n");
+  const sg::StateGraph g = stg::parse_sg(with);
+  EXPECT_TRUE(g.value(g.initial(), *g.find_signal("c")));
+}
+
+// -------------------------------------------------------------- verilog --
+
+TEST(VerilogTest, EmitsSelfContainedModule) {
+  const sg::StateGraph g = bench_suite::build_benchmark("chu172");
+  const core::SynthesisResult result = core::synthesize(g);
+  const std::string verilog =
+      netlist::write_verilog(result.circuit, gatelib::GateLibrary::standard());
+  EXPECT_NE(verilog.find("module chu172"), std::string::npos);
+  EXPECT_NE(verilog.find("module mhs_ff"), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+  EXPECT_NE(verilog.find("input a"), std::string::npos);
+  EXPECT_NE(verilog.find("output c"), std::string::npos);
+  // One mhs_ff instance per non-input signal (indented; the un-indented
+  // match is the primitive's module declaration).
+  std::size_t count = 0, pos = 0;
+  while ((pos = verilog.find("  mhs_ff #(", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, g.noninput_signals().size());
+}
+
+TEST(VerilogTest, SanitizesAwkwardNames) {
+  const sg::StateGraph g = bench_suite::build_benchmark("sbuf-send-ctl");
+  const core::SynthesisResult result = core::synthesize(g);
+  const std::string verilog =
+      netlist::write_verilog(result.circuit, gatelib::GateLibrary::standard());
+  EXPECT_NE(verilog.find("module sbuf_send_ctl"), std::string::npos);
+  EXPECT_EQ(verilog.find("module sbuf-send"), std::string::npos);  // no raw dashes in ids
+}
+
+TEST(VerilogTest, BaselineCellsAreCovered) {
+  const sg::StateGraph g = bench_suite::build_benchmark("full");
+  const auto syn = baselines::synthesize_syn_like(g);
+  ASSERT_TRUE(syn.ok());
+  const std::string verilog =
+      netlist::write_verilog(syn.result->circuit, gatelib::GateLibrary::standard());
+  EXPECT_NE(verilog.find("c_element"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ dot --
+
+TEST(DotTest, EmitsRegionsAndDetonantMarks) {
+  const sg::StateGraph cell = bench_suite::or_causality_cell("cell", "");
+  sg::DotOptions options;
+  options.highlight_signal = cell.find_signal("c");
+  const std::string dot = sg::to_dot(cell, options);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("lightgreen"), std::string::npos);   // ER(+c)
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);   // ER(-c)
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // detonant states
+  EXPECT_NE(dot.find("a+"), std::string::npos);
+}
+
+TEST(DotTest, PlainExportNeedsNoHighlight) {
+  const sg::StateGraph g = bench_suite::build_benchmark("chu172");
+  const std::string dot = sg::to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_EQ(dot.find("lightgreen"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nshot

@@ -1,0 +1,102 @@
+// Tests for excitation/quiescent/trigger regions (Definitions 5-9,
+// Properties 1-2, Figure 2, Figure 7).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/generators.hpp"
+#include "sg/regions.hpp"
+
+namespace nshot::sg {
+namespace {
+
+TEST(RegionsTest, OrCellRegionsOfC) {
+  const StateGraph cell = bench_suite::or_causality_cell("cell", "");
+  const SignalId c = *cell.find_signal("c");
+  const SignalRegions regions = compute_regions(cell, c);
+
+  // One up-ER (the three states where c is excited to rise) and one
+  // down-ER (the three states where it is excited to fall).
+  ASSERT_EQ(regions.regions.size(), 2u);
+  for (const ExcitationRegion& er : regions.regions) {
+    EXPECT_EQ(er.states.size(), 3u);
+    for (const StateId s : er.states) {
+      EXPECT_TRUE(cell.excited(s, c));
+      EXPECT_EQ(cell.value(s, c), !er.rising);
+    }
+    // Figure 2 shape: the trigger region is the single state where both
+    // inputs have arrived (the bottom SCC of the ER).
+    ASSERT_EQ(er.trigger_regions.size(), 1u);
+    EXPECT_EQ(er.trigger_regions[0].size(), 1u);
+    EXPECT_TRUE(er.single_traversal());
+    EXPECT_TRUE(verify_output_trapping(cell, er));      // Property 1
+    EXPECT_TRUE(verify_trigger_reachability(cell, er)); // Property 2
+  }
+  EXPECT_FALSE(regions.to_string(cell).empty());
+}
+
+TEST(RegionsTest, QuiescentRegionFollowsExcitation) {
+  const StateGraph cell = bench_suite::or_causality_cell("cell", "");
+  const SignalId c = *cell.find_signal("c");
+  const SignalRegions regions = compute_regions(cell, c);
+  for (const ExcitationRegion& er : regions.regions) {
+    EXPECT_FALSE(er.quiescent.empty());
+    for (const StateId s : er.quiescent) {
+      EXPECT_FALSE(cell.excited(s, c));
+      EXPECT_EQ(cell.value(s, c), er.rising);  // QR(+c) has c = 1
+    }
+  }
+}
+
+TEST(RegionsTest, SingleTraversalOnStagedCycle) {
+  const StateGraph g = bench_suite::build_benchmark("chu172");
+  EXPECT_TRUE(is_single_traversal(g));
+}
+
+TEST(RegionsTest, ProductWithCyclicPeerIsNotSingleTraversal) {
+  // Figure 7(b): a free-running peer inside an excitation region makes the
+  // trigger region larger than one state.
+  const StateGraph g = bench_suite::build_benchmark("sing2dual-inp");
+  EXPECT_FALSE(is_single_traversal(g));
+}
+
+TEST(RegionsTest, MultipleExcitationRegionsForReusedSignal) {
+  // In the read-write core the output c rises twice per cycle: two up-ERs.
+  const StateGraph g = bench_suite::build_read_write_core();
+  const SignalId c = *g.find_signal("c");
+  const SignalRegions regions = compute_regions(g, c);
+  int up = 0, down = 0;
+  for (const ExcitationRegion& er : regions.regions) (er.rising ? up : down)++;
+  EXPECT_EQ(up, 2);
+  EXPECT_EQ(down, 2);
+}
+
+/// Properties 1 and 2 hold for every region of every benchmark (bounded
+/// size to keep the suite fast).
+class RegionPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegionPropertyTest, TrappingAndTriggerReachability) {
+  const StateGraph g = bench_suite::build_benchmark(GetParam());
+  for (const SignalRegions& regions : compute_all_regions(g)) {
+    for (const ExcitationRegion& er : regions.regions) {
+      EXPECT_TRUE(verify_output_trapping(g, er));
+      EXPECT_TRUE(verify_trigger_reachability(g, er));
+      EXPECT_FALSE(er.trigger_regions.empty());
+      // Trigger regions are subsets of the ER.
+      const std::set<StateId> members(er.states.begin(), er.states.end());
+      for (const auto& tr : er.trigger_regions)
+        for (const StateId s : tr) EXPECT_TRUE(members.contains(s));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, RegionPropertyTest,
+                         ::testing::Values("chu133", "chu150", "chu172", "converta", "ebergen",
+                                           "full", "hazard", "hybridf", "qr42", "vbe5b",
+                                           "sbuf-send-ctl", "pr-rcv-ifc", "read-write", "pmcm1",
+                                           "pmcm2", "combuf1", "combuf2", "sing2dual-inp",
+                                           "sing2dual-out"));
+
+}  // namespace
+}  // namespace nshot::sg

@@ -1,0 +1,184 @@
+// Tests for the state-graph model and its property checkers (Section III).
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/generators.hpp"
+#include "sg/properties.hpp"
+#include "sg/state_graph.hpp"
+#include "util/error.hpp"
+
+namespace nshot::sg {
+namespace {
+
+/// xyz-style three-signal sequential cycle: x+ y+ z+ x- y- z-.
+StateGraph make_cycle() {
+  StateGraph g("cycle");
+  const SignalId x = g.add_signal("x", SignalKind::kInput);
+  const SignalId y = g.add_signal("y", SignalKind::kNonInput);
+  const SignalId z = g.add_signal("z", SignalKind::kNonInput);
+  const StateId s0 = g.add_state(0b000);
+  const StateId s1 = g.add_state(0b001);
+  const StateId s2 = g.add_state(0b011);
+  const StateId s3 = g.add_state(0b111);
+  const StateId s4 = g.add_state(0b110);
+  const StateId s5 = g.add_state(0b100);
+  g.add_edge(s0, {x, true}, s1);
+  g.add_edge(s1, {y, true}, s2);
+  g.add_edge(s2, {z, true}, s3);
+  g.add_edge(s3, {x, false}, s4);
+  g.add_edge(s4, {y, false}, s5);
+  g.add_edge(s5, {z, false}, s0);
+  g.set_initial(s0);
+  return g;
+}
+
+TEST(StateGraphTest, BasicAccessors) {
+  const StateGraph g = make_cycle();
+  EXPECT_EQ(g.num_signals(), 3);
+  EXPECT_EQ(g.num_states(), 6);
+  EXPECT_EQ(g.input_signals().size(), 1u);
+  EXPECT_EQ(g.noninput_signals().size(), 2u);
+  EXPECT_EQ(g.find_signal("y"), std::optional<SignalId>(1));
+  EXPECT_FALSE(g.find_signal("nope").has_value());
+  EXPECT_TRUE(g.value(2, 0));
+  EXPECT_TRUE(g.excited(0, 0));
+  EXPECT_FALSE(g.excited(0, 1));
+  EXPECT_EQ(g.label_name({1, true}), "y+");
+  EXPECT_EQ(g.enabled_labels(0).size(), 1u);
+}
+
+TEST(StateGraphTest, SuccessorAndEnabled) {
+  const StateGraph g = make_cycle();
+  EXPECT_EQ(g.successor(0, {0, true}), std::optional<StateId>(1));
+  EXPECT_FALSE(g.successor(0, {0, false}).has_value());
+  EXPECT_TRUE(g.enabled(0, {0, true}));
+}
+
+TEST(StateGraphTest, RejectsDuplicateSignalsAndEdges) {
+  StateGraph g;
+  g.add_signal("a", SignalKind::kInput);
+  EXPECT_THROW(g.add_signal("a", SignalKind::kNonInput), Error);
+  const StateId s0 = g.add_state(0);
+  const StateId s1 = g.add_state(1);
+  g.add_edge(s0, {0, true}, s1);
+  EXPECT_THROW(g.add_edge(s0, {0, true}, s1), Error);
+  EXPECT_THROW(g.add_signal("b", SignalKind::kInput), Error);  // after states
+}
+
+TEST(PropertiesTest, ConsistencyHoldsOnCycle) {
+  EXPECT_TRUE(check_consistency(make_cycle()).ok());
+}
+
+TEST(PropertiesTest, ConsistencyDetectsWrongPolarity) {
+  StateGraph g;
+  const SignalId x = g.add_signal("x", SignalKind::kInput);
+  const StateId s0 = g.add_state(0b1);  // x already 1
+  const StateId s1 = g.add_state(0b0);
+  g.add_edge(s0, {x, true}, s1);  // +x fired while x = 1
+  g.set_initial(s0);
+  EXPECT_FALSE(check_consistency(g).ok());
+}
+
+TEST(PropertiesTest, ConsistencyDetectsWrongTargetCode) {
+  StateGraph g;
+  const SignalId x = g.add_signal("x", SignalKind::kInput);
+  g.add_signal("y", SignalKind::kNonInput);
+  const StateId s0 = g.add_state(0b00);
+  const StateId s1 = g.add_state(0b11);  // y changed too
+  g.add_edge(s0, {x, true}, s1);
+  g.set_initial(s0);
+  EXPECT_FALSE(check_consistency(g).ok());
+}
+
+TEST(PropertiesTest, ReachabilityDetectsOrphanState) {
+  StateGraph g = make_cycle();
+  g.add_state(0b010);  // never connected
+  EXPECT_FALSE(check_reachability(g).ok());
+}
+
+TEST(PropertiesTest, SemiModularityViolationDetected) {
+  // Non-input y+ enabled in s0 is disabled by input x+.
+  StateGraph g;
+  const SignalId x = g.add_signal("x", SignalKind::kInput);
+  const SignalId y = g.add_signal("y", SignalKind::kNonInput);
+  const StateId s0 = g.add_state(0b00);
+  const StateId s1 = g.add_state(0b01);  // after x+
+  const StateId s2 = g.add_state(0b10);  // after y+
+  g.add_edge(s0, {x, true}, s1);
+  g.add_edge(s0, {y, true}, s2);
+  // No continuation from s1 (y+ disabled) => violation.
+  g.set_initial(s0);
+  EXPECT_FALSE(check_semi_modular(g).ok());
+}
+
+TEST(PropertiesTest, InputChoiceIsAllowed) {
+  // Two inputs disabling each other: legal in SGs with input choices.
+  StateGraph g;
+  const SignalId x = g.add_signal("x", SignalKind::kInput);
+  const SignalId y = g.add_signal("y", SignalKind::kInput);
+  const StateId s0 = g.add_state(0b00);
+  const StateId s1 = g.add_state(0b01);
+  const StateId s2 = g.add_state(0b10);
+  g.add_edge(s0, {x, true}, s1);
+  g.add_edge(s0, {y, true}, s2);
+  g.add_edge(s1, {x, false}, s0);
+  g.add_edge(s2, {y, false}, s0);
+  g.set_initial(s0);
+  EXPECT_TRUE(check_semi_modular(g).ok());
+}
+
+TEST(PropertiesTest, CscConflictDetected) {
+  // Two states with equal codes but different non-input excitation.
+  StateGraph g;
+  const SignalId x = g.add_signal("x", SignalKind::kInput);
+  const SignalId y = g.add_signal("y", SignalKind::kNonInput);
+  const StateId a = g.add_state(0b00);
+  const StateId b = g.add_state(0b01);
+  const StateId c = g.add_state(0b00);  // same code as a
+  const StateId d = g.add_state(0b10);
+  g.add_edge(a, {x, true}, b);
+  g.add_edge(b, {x, false}, c);
+  g.add_edge(c, {y, true}, d);  // y excited in c but not in a
+  g.add_edge(d, {y, false}, a);
+  g.set_initial(a);
+  EXPECT_FALSE(check_csc(g).ok());
+  EXPECT_FALSE(check_usc(g).ok());
+}
+
+TEST(PropertiesTest, CscHoldsWithoutUscOnReadWriteCore) {
+  // The read-write core shares one binary code between two states (USC
+  // fails) whose excited non-input sets agree (CSC holds).
+  const sg::StateGraph g = bench_suite::build_read_write_core();
+  EXPECT_TRUE(check_csc(g).ok());
+  EXPECT_FALSE(check_usc(g).ok());
+}
+
+TEST(PropertiesTest, DetonantStatesOfOrCell) {
+  const StateGraph cell = bench_suite::or_causality_cell("cell", "");
+  const SignalId c = *cell.find_signal("c");
+  const std::vector<StateId> detonant = detonant_states(cell, c);
+  EXPECT_EQ(detonant.size(), 2u);  // 0*0*00 and the all-high state
+  EXPECT_FALSE(is_distributive(cell, c));
+  EXPECT_FALSE(is_distributive(cell));
+}
+
+TEST(PropertiesTest, CycleIsDistributive) {
+  EXPECT_TRUE(is_distributive(make_cycle()));
+}
+
+TEST(PropertiesTest, ImplementabilityAggregatesChecks) {
+  EXPECT_TRUE(check_implementability(make_cycle()).ok());
+  StateGraph g = make_cycle();
+  g.add_state(0b010);
+  EXPECT_FALSE(check_implementability(g).ok());
+}
+
+TEST(PropertiesTest, SummaryListsViolations) {
+  StateGraph g = make_cycle();
+  g.add_state(0b010);
+  const PropertyReport report = check_reachability(g);
+  EXPECT_NE(report.summary().find("unreachable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nshot::sg

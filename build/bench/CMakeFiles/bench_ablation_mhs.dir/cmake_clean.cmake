@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mhs.dir/bench_ablation_mhs.cpp.o"
+  "CMakeFiles/bench_ablation_mhs.dir/bench_ablation_mhs.cpp.o.d"
+  "bench_ablation_mhs"
+  "bench_ablation_mhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_area_breakdown.cpp" "bench/CMakeFiles/bench_area_breakdown.dir/bench_area_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_area_breakdown.dir/bench_area_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nshot/CMakeFiles/nshot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_suite/CMakeFiles/nshot_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nshot_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nshot_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/nshot_gatelib.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/nshot_stg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/nshot_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nshot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

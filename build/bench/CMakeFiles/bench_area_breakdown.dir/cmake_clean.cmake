@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_breakdown.dir/bench_area_breakdown.cpp.o"
+  "CMakeFiles/bench_area_breakdown.dir/bench_area_breakdown.cpp.o.d"
+  "bench_area_breakdown"
+  "bench_area_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

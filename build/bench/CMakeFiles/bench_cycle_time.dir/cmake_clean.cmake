@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_time.dir/bench_cycle_time.cpp.o"
+  "CMakeFiles/bench_cycle_time.dir/bench_cycle_time.cpp.o.d"
+  "bench_cycle_time"
+  "bench_cycle_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

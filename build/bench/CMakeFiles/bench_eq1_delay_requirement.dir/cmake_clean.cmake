@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_delay_requirement.dir/bench_eq1_delay_requirement.cpp.o"
+  "CMakeFiles/bench_eq1_delay_requirement.dir/bench_eq1_delay_requirement.cpp.o.d"
+  "bench_eq1_delay_requirement"
+  "bench_eq1_delay_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_delay_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formal_si.dir/bench_formal_si.cpp.o"
+  "CMakeFiles/bench_formal_si.dir/bench_formal_si.cpp.o.d"
+  "bench_formal_si"
+  "bench_formal_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formal_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimizer.dir/bench_minimizer.cpp.o"
+  "CMakeFiles/bench_minimizer.dir/bench_minimizer.cpp.o.d"
+  "bench_minimizer"
+  "bench_minimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassin_cli.dir/assassin_cli.cpp.o"
+  "CMakeFiles/assassin_cli.dir/assassin_cli.cpp.o.d"
+  "assassin_cli"
+  "assassin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for assassin_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcc_decoder_frontend.dir/dcc_decoder_frontend.cpp.o"
+  "CMakeFiles/dcc_decoder_frontend.dir/dcc_decoder_frontend.cpp.o.d"
+  "dcc_decoder_frontend"
+  "dcc_decoder_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcc_decoder_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_cli.dir/espresso_cli.cpp.o"
+  "CMakeFiles/espresso_cli.dir/espresso_cli.cpp.o.d"
+  "espresso_cli"
+  "espresso_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nondistributive_interfaces.dir/nondistributive_interfaces.cpp.o"
+  "CMakeFiles/nondistributive_interfaces.dir/nondistributive_interfaces.cpp.o.d"
+  "nondistributive_interfaces"
+  "nondistributive_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nondistributive_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

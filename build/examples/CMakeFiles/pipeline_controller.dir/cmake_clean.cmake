@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_controller.dir/pipeline_controller.cpp.o"
+  "CMakeFiles/pipeline_controller.dir/pipeline_controller.cpp.o.d"
+  "pipeline_controller"
+  "pipeline_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("logic")
+subdirs("sg")
+subdirs("stg")
+subdirs("csc")
+subdirs("formal")
+subdirs("gatelib")
+subdirs("netlist")
+subdirs("nshot")
+subdirs("sim")
+subdirs("baselines")
+subdirs("bench_suite")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines_common.cpp" "src/baselines/CMakeFiles/nshot_baselines.dir/baselines_common.cpp.o" "gcc" "src/baselines/CMakeFiles/nshot_baselines.dir/baselines_common.cpp.o.d"
+  "/root/repo/src/baselines/complex_gate.cpp" "src/baselines/CMakeFiles/nshot_baselines.dir/complex_gate.cpp.o" "gcc" "src/baselines/CMakeFiles/nshot_baselines.dir/complex_gate.cpp.o.d"
+  "/root/repo/src/baselines/sis_like.cpp" "src/baselines/CMakeFiles/nshot_baselines.dir/sis_like.cpp.o" "gcc" "src/baselines/CMakeFiles/nshot_baselines.dir/sis_like.cpp.o.d"
+  "/root/repo/src/baselines/syn_like.cpp" "src/baselines/CMakeFiles/nshot_baselines.dir/syn_like.cpp.o" "gcc" "src/baselines/CMakeFiles/nshot_baselines.dir/syn_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nshot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nshot_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/nshot_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nshot_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/nshot_gatelib.dir/DependInfo.cmake"
+  "/root/repo/build/src/nshot/CMakeFiles/nshot_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_baselines.dir/baselines_common.cpp.o"
+  "CMakeFiles/nshot_baselines.dir/baselines_common.cpp.o.d"
+  "CMakeFiles/nshot_baselines.dir/complex_gate.cpp.o"
+  "CMakeFiles/nshot_baselines.dir/complex_gate.cpp.o.d"
+  "CMakeFiles/nshot_baselines.dir/sis_like.cpp.o"
+  "CMakeFiles/nshot_baselines.dir/sis_like.cpp.o.d"
+  "CMakeFiles/nshot_baselines.dir/syn_like.cpp.o"
+  "CMakeFiles/nshot_baselines.dir/syn_like.cpp.o.d"
+  "libnshot_baselines.a"
+  "libnshot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

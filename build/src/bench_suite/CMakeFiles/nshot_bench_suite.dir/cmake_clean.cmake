@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_bench_suite.dir/benchmarks.cpp.o"
+  "CMakeFiles/nshot_bench_suite.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/nshot_bench_suite.dir/generators.cpp.o"
+  "CMakeFiles/nshot_bench_suite.dir/generators.cpp.o.d"
+  "libnshot_bench_suite.a"
+  "libnshot_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnshot_bench_suite.a"
+)

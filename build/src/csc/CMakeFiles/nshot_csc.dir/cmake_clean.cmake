@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_csc.dir/csc_solver.cpp.o"
+  "CMakeFiles/nshot_csc.dir/csc_solver.cpp.o.d"
+  "libnshot_csc.a"
+  "libnshot_csc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_csc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

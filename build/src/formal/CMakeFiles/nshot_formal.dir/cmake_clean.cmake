@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_formal.dir/si_verifier.cpp.o"
+  "CMakeFiles/nshot_formal.dir/si_verifier.cpp.o.d"
+  "libnshot_formal.a"
+  "libnshot_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_gatelib.dir/gate_library.cpp.o"
+  "CMakeFiles/nshot_gatelib.dir/gate_library.cpp.o.d"
+  "libnshot_gatelib.a"
+  "libnshot_gatelib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_gatelib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

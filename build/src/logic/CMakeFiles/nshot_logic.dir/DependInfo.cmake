@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/cover.cpp" "src/logic/CMakeFiles/nshot_logic.dir/cover.cpp.o" "gcc" "src/logic/CMakeFiles/nshot_logic.dir/cover.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "src/logic/CMakeFiles/nshot_logic.dir/cube.cpp.o" "gcc" "src/logic/CMakeFiles/nshot_logic.dir/cube.cpp.o.d"
+  "/root/repo/src/logic/espresso.cpp" "src/logic/CMakeFiles/nshot_logic.dir/espresso.cpp.o" "gcc" "src/logic/CMakeFiles/nshot_logic.dir/espresso.cpp.o.d"
+  "/root/repo/src/logic/exact.cpp" "src/logic/CMakeFiles/nshot_logic.dir/exact.cpp.o" "gcc" "src/logic/CMakeFiles/nshot_logic.dir/exact.cpp.o.d"
+  "/root/repo/src/logic/pla.cpp" "src/logic/CMakeFiles/nshot_logic.dir/pla.cpp.o" "gcc" "src/logic/CMakeFiles/nshot_logic.dir/pla.cpp.o.d"
+  "/root/repo/src/logic/spec.cpp" "src/logic/CMakeFiles/nshot_logic.dir/spec.cpp.o" "gcc" "src/logic/CMakeFiles/nshot_logic.dir/spec.cpp.o.d"
+  "/root/repo/src/logic/verify.cpp" "src/logic/CMakeFiles/nshot_logic.dir/verify.cpp.o" "gcc" "src/logic/CMakeFiles/nshot_logic.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nshot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_logic.dir/cover.cpp.o"
+  "CMakeFiles/nshot_logic.dir/cover.cpp.o.d"
+  "CMakeFiles/nshot_logic.dir/cube.cpp.o"
+  "CMakeFiles/nshot_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/nshot_logic.dir/espresso.cpp.o"
+  "CMakeFiles/nshot_logic.dir/espresso.cpp.o.d"
+  "CMakeFiles/nshot_logic.dir/exact.cpp.o"
+  "CMakeFiles/nshot_logic.dir/exact.cpp.o.d"
+  "CMakeFiles/nshot_logic.dir/pla.cpp.o"
+  "CMakeFiles/nshot_logic.dir/pla.cpp.o.d"
+  "CMakeFiles/nshot_logic.dir/spec.cpp.o"
+  "CMakeFiles/nshot_logic.dir/spec.cpp.o.d"
+  "CMakeFiles/nshot_logic.dir/verify.cpp.o"
+  "CMakeFiles/nshot_logic.dir/verify.cpp.o.d"
+  "libnshot_logic.a"
+  "libnshot_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

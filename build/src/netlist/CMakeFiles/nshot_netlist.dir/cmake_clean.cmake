@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/nshot_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/nshot_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/nshot_netlist.dir/verilog.cpp.o.d"
+  "libnshot_netlist.a"
+  "libnshot_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

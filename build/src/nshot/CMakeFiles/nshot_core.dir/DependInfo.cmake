@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nshot/architecture.cpp" "src/nshot/CMakeFiles/nshot_core.dir/architecture.cpp.o" "gcc" "src/nshot/CMakeFiles/nshot_core.dir/architecture.cpp.o.d"
+  "/root/repo/src/nshot/delay_requirement.cpp" "src/nshot/CMakeFiles/nshot_core.dir/delay_requirement.cpp.o" "gcc" "src/nshot/CMakeFiles/nshot_core.dir/delay_requirement.cpp.o.d"
+  "/root/repo/src/nshot/hazard_analysis.cpp" "src/nshot/CMakeFiles/nshot_core.dir/hazard_analysis.cpp.o" "gcc" "src/nshot/CMakeFiles/nshot_core.dir/hazard_analysis.cpp.o.d"
+  "/root/repo/src/nshot/spec_derivation.cpp" "src/nshot/CMakeFiles/nshot_core.dir/spec_derivation.cpp.o" "gcc" "src/nshot/CMakeFiles/nshot_core.dir/spec_derivation.cpp.o.d"
+  "/root/repo/src/nshot/synthesis.cpp" "src/nshot/CMakeFiles/nshot_core.dir/synthesis.cpp.o" "gcc" "src/nshot/CMakeFiles/nshot_core.dir/synthesis.cpp.o.d"
+  "/root/repo/src/nshot/trigger.cpp" "src/nshot/CMakeFiles/nshot_core.dir/trigger.cpp.o" "gcc" "src/nshot/CMakeFiles/nshot_core.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nshot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nshot_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/nshot_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/nshot_gatelib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nshot_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

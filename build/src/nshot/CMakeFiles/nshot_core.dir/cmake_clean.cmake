@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_core.dir/architecture.cpp.o"
+  "CMakeFiles/nshot_core.dir/architecture.cpp.o.d"
+  "CMakeFiles/nshot_core.dir/delay_requirement.cpp.o"
+  "CMakeFiles/nshot_core.dir/delay_requirement.cpp.o.d"
+  "CMakeFiles/nshot_core.dir/hazard_analysis.cpp.o"
+  "CMakeFiles/nshot_core.dir/hazard_analysis.cpp.o.d"
+  "CMakeFiles/nshot_core.dir/spec_derivation.cpp.o"
+  "CMakeFiles/nshot_core.dir/spec_derivation.cpp.o.d"
+  "CMakeFiles/nshot_core.dir/synthesis.cpp.o"
+  "CMakeFiles/nshot_core.dir/synthesis.cpp.o.d"
+  "CMakeFiles/nshot_core.dir/trigger.cpp.o"
+  "CMakeFiles/nshot_core.dir/trigger.cpp.o.d"
+  "libnshot_core.a"
+  "libnshot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

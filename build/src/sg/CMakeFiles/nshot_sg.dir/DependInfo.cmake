@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sg/dot.cpp" "src/sg/CMakeFiles/nshot_sg.dir/dot.cpp.o" "gcc" "src/sg/CMakeFiles/nshot_sg.dir/dot.cpp.o.d"
+  "/root/repo/src/sg/properties.cpp" "src/sg/CMakeFiles/nshot_sg.dir/properties.cpp.o" "gcc" "src/sg/CMakeFiles/nshot_sg.dir/properties.cpp.o.d"
+  "/root/repo/src/sg/regions.cpp" "src/sg/CMakeFiles/nshot_sg.dir/regions.cpp.o" "gcc" "src/sg/CMakeFiles/nshot_sg.dir/regions.cpp.o.d"
+  "/root/repo/src/sg/state_graph.cpp" "src/sg/CMakeFiles/nshot_sg.dir/state_graph.cpp.o" "gcc" "src/sg/CMakeFiles/nshot_sg.dir/state_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nshot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

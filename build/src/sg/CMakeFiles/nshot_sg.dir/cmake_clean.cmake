@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_sg.dir/dot.cpp.o"
+  "CMakeFiles/nshot_sg.dir/dot.cpp.o.d"
+  "CMakeFiles/nshot_sg.dir/properties.cpp.o"
+  "CMakeFiles/nshot_sg.dir/properties.cpp.o.d"
+  "CMakeFiles/nshot_sg.dir/regions.cpp.o"
+  "CMakeFiles/nshot_sg.dir/regions.cpp.o.d"
+  "CMakeFiles/nshot_sg.dir/state_graph.cpp.o"
+  "CMakeFiles/nshot_sg.dir/state_graph.cpp.o.d"
+  "libnshot_sg.a"
+  "libnshot_sg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

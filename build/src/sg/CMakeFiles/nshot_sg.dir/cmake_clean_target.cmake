@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnshot_sg.a"
+)

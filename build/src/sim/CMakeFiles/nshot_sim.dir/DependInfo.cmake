@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/conformance.cpp" "src/sim/CMakeFiles/nshot_sim.dir/conformance.cpp.o" "gcc" "src/sim/CMakeFiles/nshot_sim.dir/conformance.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/nshot_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/nshot_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/mhs_structural.cpp" "src/sim/CMakeFiles/nshot_sim.dir/mhs_structural.cpp.o" "gcc" "src/sim/CMakeFiles/nshot_sim.dir/mhs_structural.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/nshot_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/nshot_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nshot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/nshot_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nshot_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatelib/CMakeFiles/nshot_gatelib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

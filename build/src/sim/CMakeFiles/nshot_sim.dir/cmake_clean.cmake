@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_sim.dir/conformance.cpp.o"
+  "CMakeFiles/nshot_sim.dir/conformance.cpp.o.d"
+  "CMakeFiles/nshot_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/nshot_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/nshot_sim.dir/mhs_structural.cpp.o"
+  "CMakeFiles/nshot_sim.dir/mhs_structural.cpp.o.d"
+  "CMakeFiles/nshot_sim.dir/vcd.cpp.o"
+  "CMakeFiles/nshot_sim.dir/vcd.cpp.o.d"
+  "libnshot_sim.a"
+  "libnshot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

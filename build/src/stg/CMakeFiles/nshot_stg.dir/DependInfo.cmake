@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stg/g_format.cpp" "src/stg/CMakeFiles/nshot_stg.dir/g_format.cpp.o" "gcc" "src/stg/CMakeFiles/nshot_stg.dir/g_format.cpp.o.d"
+  "/root/repo/src/stg/reachability.cpp" "src/stg/CMakeFiles/nshot_stg.dir/reachability.cpp.o" "gcc" "src/stg/CMakeFiles/nshot_stg.dir/reachability.cpp.o.d"
+  "/root/repo/src/stg/sg_format.cpp" "src/stg/CMakeFiles/nshot_stg.dir/sg_format.cpp.o" "gcc" "src/stg/CMakeFiles/nshot_stg.dir/sg_format.cpp.o.d"
+  "/root/repo/src/stg/stg.cpp" "src/stg/CMakeFiles/nshot_stg.dir/stg.cpp.o" "gcc" "src/stg/CMakeFiles/nshot_stg.dir/stg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nshot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/nshot_sg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_stg.dir/g_format.cpp.o"
+  "CMakeFiles/nshot_stg.dir/g_format.cpp.o.d"
+  "CMakeFiles/nshot_stg.dir/reachability.cpp.o"
+  "CMakeFiles/nshot_stg.dir/reachability.cpp.o.d"
+  "CMakeFiles/nshot_stg.dir/sg_format.cpp.o"
+  "CMakeFiles/nshot_stg.dir/sg_format.cpp.o.d"
+  "CMakeFiles/nshot_stg.dir/stg.cpp.o"
+  "CMakeFiles/nshot_stg.dir/stg.cpp.o.d"
+  "libnshot_stg.a"
+  "libnshot_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

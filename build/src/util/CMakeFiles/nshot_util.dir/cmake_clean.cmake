@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_util.dir/error.cpp.o"
+  "CMakeFiles/nshot_util.dir/error.cpp.o.d"
+  "CMakeFiles/nshot_util.dir/rng.cpp.o"
+  "CMakeFiles/nshot_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nshot_util.dir/strings.cpp.o"
+  "CMakeFiles/nshot_util.dir/strings.cpp.o.d"
+  "libnshot_util.a"
+  "libnshot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite_test.dir/bench_suite_test.cpp.o"
+  "CMakeFiles/bench_suite_test.dir/bench_suite_test.cpp.o.d"
+  "bench_suite_test"
+  "bench_suite_test.pdb"
+  "bench_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

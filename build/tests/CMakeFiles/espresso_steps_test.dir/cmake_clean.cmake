@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_steps_test.dir/espresso_steps_test.cpp.o"
+  "CMakeFiles/espresso_steps_test.dir/espresso_steps_test.cpp.o.d"
+  "espresso_steps_test"
+  "espresso_steps_test.pdb"
+  "espresso_steps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_steps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

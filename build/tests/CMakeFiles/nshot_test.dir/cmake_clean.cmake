@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nshot_test.dir/nshot_test.cpp.o"
+  "CMakeFiles/nshot_test.dir/nshot_test.cpp.o.d"
+  "nshot_test"
+  "nshot_test.pdb"
+  "nshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_controller_test.dir/random_controller_test.cpp.o"
+  "CMakeFiles/random_controller_test.dir/random_controller_test.cpp.o.d"
+  "random_controller_test"
+  "random_controller_test.pdb"
+  "random_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

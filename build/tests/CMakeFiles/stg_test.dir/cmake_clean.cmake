@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stg_test.dir/stg_test.cpp.o"
+  "CMakeFiles/stg_test.dir/stg_test.cpp.o.d"
+  "stg_test"
+  "stg_test.pdb"
+  "stg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/logic_test[1]_include.cmake")
+include("/root/repo/build/tests/sg_test[1]_include.cmake")
+include("/root/repo/build/tests/regions_test[1]_include.cmake")
+include("/root/repo/build/tests/stg_test[1]_include.cmake")
+include("/root/repo/build/tests/nshot_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/csc_test[1]_include.cmake")
+include("/root/repo/build/tests/formats_test[1]_include.cmake")
+include("/root/repo/build/tests/random_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/formal_test[1]_include.cmake")
+include("/root/repo/build/tests/espresso_steps_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_results_test[1]_include.cmake")

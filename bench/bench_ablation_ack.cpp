@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "bench/ablation_util.hpp"
+#include "netlist/transform.hpp"
 #include "bench_suite/benchmarks.hpp"
 #include "nshot/synthesis.hpp"
 #include "sim/conformance.hpp"
@@ -20,12 +20,12 @@ using namespace nshot;
 using gatelib::GateType;
 
 netlist::Netlist strip_acknowledgement(const netlist::Netlist& source) {
-  return bench_ablation::transform_netlist(
+  return netlist::transform_netlist(
       source, [](const netlist::Gate& gate, netlist::Netlist& nl)
                   -> std::optional<netlist::Gate> {
         if (gate.type != GateType::kMhsFlipFlop) return gate;
         netlist::Gate stripped = gate;
-        const netlist::NetId one = bench_ablation::const_one(nl);
+        const netlist::NetId one = netlist::const_one(nl);
         stripped.inputs[2] = one;  // enable_set
         stripped.inputs[3] = one;  // enable_reset
         return stripped;

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/ablation_util.hpp"
+#include "netlist/transform.hpp"
 #include "bench_suite/benchmarks.hpp"
 #include "nshot/synthesis.hpp"
 #include "sim/conformance.hpp"
@@ -23,7 +23,7 @@ using netlist::Gate;
 using netlist::NetId;
 
 netlist::Netlist replace_mhs_with_celement(const netlist::Netlist& source) {
-  return bench_ablation::transform_netlist(
+  return netlist::transform_netlist(
       source,
       [](const Gate& gate, netlist::Netlist& nl) -> std::optional<Gate> {
         if (gate.type != GateType::kMhsFlipFlop) return gate;

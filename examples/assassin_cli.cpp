@@ -18,6 +18,21 @@
 //   --check N        run N closed-loop conformance simulations (default 8)
 //   --vcd FILE       write one closed-loop simulation trace as VCD
 //   --baselines      also run the SIS-like / SYN-like / complex-gate flows
+//
+// Robustness / fault injection (src/faults):
+//   --stress              fault battery + robustness-margin report (JSON)
+//   --stress-runs N       margin-measurement runs (default 5)
+//   --stress-factor F     delay-outlier stretch beyond the library interval
+//                         (default: 3.0 for --stress, 1.0 for --stress-uncomp)
+//   --stress-out FILE     write the JSON report to FILE instead of stdout
+//   --stress-uncomp       under-compensation demo: deepen one set SOP so
+//                         Eq. 1 requires t_del > 0, install none, show
+//                         uniform Monte Carlo missing the trespass that the
+//                         adversarial search finds; minimized witness JSON
+//                         and VCD are written to disk
+//   --stress-vcd FILE     witness waveform path (default stress_witness.vcd)
+//   --stress-deepen N     max buffer levels tried when picking the
+//                         under-compensated signal (default 2)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +42,7 @@
 #include "baselines/baselines.hpp"
 #include "bench_suite/benchmarks.hpp"
 #include "csc/csc_solver.hpp"
+#include "faults/stress.hpp"
 #include "logic/pla.hpp"
 #include "netlist/verilog.hpp"
 #include "nshot/synthesis.hpp"
@@ -37,6 +53,7 @@
 #include "stg/g_format.hpp"
 #include "stg/reachability.hpp"
 #include "stg/sg_format.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -45,7 +62,15 @@ void usage() {
       "usage: assassin_cli (<file.g|file.sg> | --benchmark NAME | --list)\n"
       "       [--exact] [--no-share] [--solve-csc] [--netlist] [--verilog]\n"
       "       [--dot SIGNAL] [--pla] [--regions] [--check N] [--vcd FILE]\n"
-      "       [--baselines]");
+      "       [--baselines] [--stress] [--stress-runs N] [--stress-factor F]\n"
+      "       [--stress-out FILE] [--stress-uncomp] [--stress-vcd FILE]\n"
+      "       [--stress-deepen N]");
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw nshot::Error("cannot write " + path);
+  out << content;
 }
 
 }  // namespace
@@ -56,26 +81,45 @@ int main(int argc, char** argv) {
   bool list = false, exact = false, no_share = false, solve_csc = false;
   bool print_netlist = false, print_pla = false, print_regions = false, run_baselines = false;
   bool print_verilog = false, print_dot = false;
-  int check_runs = 8;
+  bool stress = false, stress_uncomp = false;
+  int check_runs = 8, stress_runs = 5, stress_deepen = 2;
+  double stress_factor = 0.0;  // 0 = per-mode default (3.0 battery, 1.0 demo)
+  std::string stress_out, stress_vcd = "stress_witness.vcd";
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list") list = true;
-    else if (arg == "--benchmark" && i + 1 < argc) benchmark = argv[++i];
-    else if (arg == "--exact") exact = true;
-    else if (arg == "--no-share") no_share = true;
-    else if (arg == "--solve-csc") solve_csc = true;
-    else if (arg == "--netlist") print_netlist = true;
-    else if (arg == "--verilog") print_verilog = true;
-    else if (arg == "--dot" && i + 1 < argc) { print_dot = true; dot_signal = argv[++i]; }
-    else if (arg == "--pla") print_pla = true;
-    else if (arg == "--regions") print_regions = true;
-    else if (arg == "--baselines") run_baselines = true;
-    else if (arg == "--check" && i + 1 < argc) check_runs = std::atoi(argv[++i]);
-    else if (arg == "--vcd" && i + 1 < argc) vcd_file = argv[++i];
-    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
-    else if (!arg.empty() && arg[0] != '-') input_file = arg;
-    else { usage(); return 2; }
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list") list = true;
+      else if (arg == "--benchmark" && i + 1 < argc) benchmark = argv[++i];
+      else if (arg == "--exact") exact = true;
+      else if (arg == "--no-share") no_share = true;
+      else if (arg == "--solve-csc") solve_csc = true;
+      else if (arg == "--netlist") print_netlist = true;
+      else if (arg == "--verilog") print_verilog = true;
+      else if (arg == "--dot" && i + 1 < argc) { print_dot = true; dot_signal = argv[++i]; }
+      else if (arg == "--pla") print_pla = true;
+      else if (arg == "--regions") print_regions = true;
+      else if (arg == "--baselines") run_baselines = true;
+      else if (arg == "--check" && i + 1 < argc)
+        check_runs = parse_int(argv[++i], 0, 1'000'000, "--check");
+      else if (arg == "--vcd" && i + 1 < argc) vcd_file = argv[++i];
+      else if (arg == "--stress") stress = true;
+      else if (arg == "--stress-runs" && i + 1 < argc)
+        stress_runs = parse_int(argv[++i], 1, 1'000'000, "--stress-runs");
+      else if (arg == "--stress-factor" && i + 1 < argc)
+        stress_factor = parse_double(argv[++i], 1.0, 100.0, "--stress-factor");
+      else if (arg == "--stress-out" && i + 1 < argc) stress_out = argv[++i];
+      else if (arg == "--stress-uncomp") stress_uncomp = true;
+      else if (arg == "--stress-vcd" && i + 1 < argc) stress_vcd = argv[++i];
+      else if (arg == "--stress-deepen" && i + 1 < argc)
+        stress_deepen = parse_int(argv[++i], 1, 64, "--stress-deepen");
+      else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+      else if (!arg.empty() && arg[0] != '-') input_file = arg;
+      else { usage(); return 2; }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
 
   if (list) {
@@ -156,6 +200,107 @@ int main(int argc, char** argv) {
       const sim::ConformanceReport report = sim::check_conformance(graph, result.circuit, copt);
       std::printf("\nconformance: %s\n", report.summary().c_str());
       if (!report.clean()) return 1;
+    }
+
+    if (stress) {
+      faults::StressOptions sopt;
+      sopt.margin_runs = stress_runs;
+      sopt.adversarial.stress_factor = stress_factor > 0.0 ? stress_factor : 3.0;
+      const faults::StressReport report =
+          faults::run_stress(graph, result.circuit, graph.name(), sopt);
+      const std::string json = faults::stress_report_json(report);
+      if (stress_out.empty()) {
+        std::printf("\n%s\n", json.c_str());
+      } else {
+        write_file(stress_out, json);
+        int failed = 0;
+        for (const faults::FaultOutcome& outcome : report.outcomes)
+          if (!outcome.survived) ++failed;
+        std::printf(
+            "\nstress: %zu signals, %zu faults (%d detected), min omega slack %.3f, "
+            "min Eq.1 slack %.3f, adversarial best slack %.3f -> %s\n",
+            report.signals.size(), report.outcomes.size(), failed, report.min_omega_slack,
+            report.min_eq1_slack, report.adversarial.best_slack, stress_out.c_str());
+      }
+    }
+
+    if (stress_uncomp) {
+      // Deliberately break Eq. 1: deepen one signal's set SOP with buffers
+      // (raising t_set0w) and install no compensating delay line, then show
+      // that uniform Monte Carlo over stressed delay bounds misses the
+      // trespass an adversarial search finds, minimizes and dumps.
+      const auto noninputs = graph.noninput_signals();
+      if (noninputs.empty()) throw Error("--stress-uncomp needs a non-input signal");
+      const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
+
+      // Pick the tightest under-compensation available: the (signal, depth)
+      // pair whose deepened set SOP makes Eq. 1 require the SMALLEST
+      // positive t_del.  The violating delay region is then a thin sliver
+      // at the corner of the delay box — exactly the kind of trespass a
+      // uniform sweep misses and a guided search walks into.
+      std::string target;
+      int levels = 0;
+      double required = faults::kNoMargin;
+      for (const auto sid : noninputs) {
+        const std::string& name = graph.signal(sid).name;
+        for (int l = 1; l <= stress_deepen; ++l) {
+          const netlist::Netlist candidate =
+              faults::deepen_set_path(result.circuit, name, l);
+          double shortfall = 0.0;
+          for (const faults::Eq1Requirement& req : faults::eq1_requirements(candidate, lib))
+            if (req.signal == name) shortfall = req.required_set - req.installed_set;
+          if (shortfall <= 0.0) continue;  // still compensated; go deeper
+          if (shortfall < required) {
+            required = shortfall;
+            target = name;
+            levels = l;
+          }
+          break;  // deeper levels only increase the shortfall
+        }
+      }
+      if (target.empty())
+        throw Error("--stress-uncomp: no under-compensated variant within " +
+                    std::to_string(stress_deepen) + " extra levels");
+      const netlist::Netlist uncomp = faults::strip_delay_compensation(
+          faults::deepen_set_path(result.circuit, target, levels));
+      std::printf(
+          "\nunder-compensated %s (+%d set levels): Eq.1 requires t_del_set >= %.2f, "
+          "installed 0\n",
+          target.c_str(), levels, required);
+
+      // Default to the plain library interval: the deepened circuit's Eq. 1
+      // shortfall makes a thin corner of the ordinary delay box hazardous,
+      // which is the sharpest form of the demo.
+      faults::AdversarialOptions aopt;
+      aopt.stress_factor = stress_factor > 0.0 ? stress_factor : 1.0;
+      const faults::MonteCarloResult mc =
+          faults::stressed_monte_carlo(graph, uncomp, 200, aopt);
+      std::printf("uniform Monte Carlo: %d/%d runs violate (min slack %.3f)\n",
+                  mc.violating_runs, mc.runs, mc.min_slack);
+
+      const faults::AdversarialResult adv = faults::adversarial_delay_search(graph, uncomp, aopt);
+      std::printf("adversarial search: %s after %ld evaluations (best slack %.3f)\n",
+                  adv.violation_found ? "violation found" : "no violation", adv.evaluations,
+                  adv.best_slack);
+      if (adv.violation_found) {
+        faults::FaultScenario scenario;
+        scenario.seed = adv.env_seed;
+        scenario.delays = adv.delays;
+        const faults::MinimizedWitness witness =
+            faults::minimize_counterexample(graph, uncomp, scenario);
+        const std::string json_path = stress_out.empty() ? "stress_witness.json" : stress_out;
+        write_file(json_path, faults::witness_json(witness, uncomp));
+        write_file(stress_vcd, witness.vcd);
+        std::printf(
+            "minimized witness: %d off-nominal gate delays (%d reset to nominal, "
+            "%ld replays) -> %s, %s\n",
+            witness.off_nominal_gates, witness.delays_reset, witness.evaluations,
+            json_path.c_str(), stress_vcd.c_str());
+        if (!witness.report.violations.empty())
+          std::printf("  %s: %s\n",
+                      sim::violation_kind_name(witness.report.violations.front().kind),
+                      witness.report.violations.front().description.c_str());
+      }
     }
 
     if (run_baselines) {

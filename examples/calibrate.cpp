@@ -12,6 +12,7 @@
 #include "sg/properties.hpp"
 #include "sg/regions.hpp"
 #include "sim/conformance.hpp"
+#include "util/strings.hpp"
 
 static void synth_all(int max_states) {
   using namespace nshot;
@@ -103,18 +104,21 @@ static void formal_all(int max_states) {
   }
 }
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace nshot;
+  const auto state_budget = [&](int fallback) {
+    return argc > 2 ? parse_int(argv[2], 1, 10'000'000, "state budget") : fallback;
+  };
   if (argc > 1 && std::strcmp(argv[1], "--formal") == 0) {
-    formal_all(argc > 2 ? std::atoi(argv[2]) : 100);
+    formal_all(state_budget(100));
     return 0;
   }
   if (argc > 1 && std::strcmp(argv[1], "--synth") == 0) {
-    synth_all(argc > 2 ? std::atoi(argv[2]) : 300);
+    synth_all(state_budget(300));
     return 0;
   }
   if (argc > 1 && std::strcmp(argv[1], "--baselines") == 0) {
-    baselines_all(argc > 2 ? std::atoi(argv[2]) : 300);
+    baselines_all(state_budget(300));
     return 0;
   }
   std::printf("%-15s %7s %7s  %-5s %-5s %-5s %-5s %-6s %-6s\n", "benchmark", "paper", "actual",
@@ -141,4 +145,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

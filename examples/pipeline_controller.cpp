@@ -14,12 +14,13 @@
 #include "nshot/synthesis.hpp"
 #include "sg/properties.hpp"
 #include "sim/conformance.hpp"
+#include "util/strings.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace nshot;
-  const int width = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int chain_length = argc > 2 ? std::atoi(argv[2]) : 2;
-  const int runs = argc > 3 ? std::atoi(argv[3]) : 16;
+  const int width = argc > 1 ? parse_int(argv[1], 1, 64, "width") : 4;
+  const int chain_length = argc > 2 ? parse_int(argv[2], 1, 64, "chain_length") : 2;
+  const int runs = argc > 3 ? parse_int(argv[3], 0, 1'000'000, "runs") : 16;
 
   // Build: master input m releases `width` chains of `chain_length`
   // signals each; the first chain signal is an input (a request), the
@@ -57,4 +58,8 @@ int main(int argc, char** argv) {
   std::printf("  violations: %zu, deadlocks: %d\n", report.violations.size(), report.deadlocks);
   std::printf("=> %s\n", report.clean() ? "externally hazard-free" : "FAILED");
   return report.clean() ? 0 : 1;
+}
+catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

@@ -1,0 +1,148 @@
+#include "faults/adversarial.hpp"
+
+#include <algorithm>
+
+#include "sim/delay_space.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nshot::faults {
+
+namespace {
+
+/// The concrete search box: per-gate [lo, hi] bounds plus the list of
+/// gates the search may move.  Simple gates get the library interval
+/// stretched by the stress factor; delay lines join the box only when
+/// shaving is enabled (bounds [0, installed delay] — under-compensation
+/// only, a longer line never hurts Eq. 1).
+struct SearchSpace {
+  std::vector<double> lo, hi;
+  std::vector<netlist::GateId> movable;
+};
+
+SearchSpace make_space(const netlist::Netlist& circuit, const sim::DelaySpace& space,
+                       const AdversarialOptions& options) {
+  NSHOT_REQUIRE(options.stress_factor >= 1.0, "stress factor must be >= 1");
+  SearchSpace box;
+  const std::size_t n = static_cast<std::size_t>(circuit.num_gates());
+  box.lo.resize(n);
+  box.hi.resize(n);
+  for (netlist::GateId g = 0; g < circuit.num_gates(); ++g) {
+    const std::size_t i = static_cast<std::size_t>(g);
+    box.lo[i] = space.stressed_lo(g, options.stress_factor);
+    box.hi[i] = space.stressed_hi(g, options.stress_factor);
+    if (!space.fixed(g)) {
+      box.movable.push_back(g);
+    } else if (options.shave_delay_lines &&
+               circuit.gate(g).type == gatelib::GateType::kDelayLine) {
+      box.lo[i] = 0.0;
+      box.movable.push_back(g);
+    }
+  }
+  return box;
+}
+
+std::vector<double> sample_uniform(const SearchSpace& box, const sim::DelaySpace& space,
+                                   Rng& rng) {
+  std::vector<double> delays = space.nominal_vector();
+  for (const netlist::GateId g : box.movable) {
+    const std::size_t i = static_cast<std::size_t>(g);
+    delays[i] = box.lo[i] >= box.hi[i] ? box.lo[i] : rng.next_double(box.lo[i], box.hi[i]);
+  }
+  return delays;
+}
+
+struct Evaluation {
+  double score = kNoMargin;  // min slack; -inf when the run violated
+  ProbedRun run;
+};
+
+Evaluation evaluate(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+                    std::vector<double> delays, std::uint64_t env_seed,
+                    const ScenarioOptions& options) {
+  FaultScenario scenario;
+  scenario.seed = env_seed;
+  scenario.delays = std::move(delays);
+  Evaluation eval;
+  eval.run = run_probed(spec, circuit, scenario, options);
+  eval.score = eval.run.report.violations.empty() ? eval.run.min_slack : -kNoMargin;
+  return eval;
+}
+
+}  // namespace
+
+AdversarialResult adversarial_delay_search(const sg::StateGraph& spec,
+                                           const netlist::Netlist& circuit,
+                                           const AdversarialOptions& options) {
+  const sim::DelaySpace space(circuit, gatelib::GateLibrary::standard());
+  const SearchSpace box = make_space(circuit, space, options);
+
+  AdversarialResult result;
+  double best_score = kNoMargin;
+  for (int r = 0; r < options.restarts && !result.violation_found; ++r) {
+    // One environment stream per restart keeps the objective deterministic
+    // in the delay vector, so accepted steps are genuine descents.
+    const std::uint64_t env_seed = run_seed(options.seed, r);
+    Rng rng(env_seed ^ 0xadce5a17ULL);
+
+    std::vector<double> current = sample_uniform(box, space, rng);
+    Evaluation eval = evaluate(spec, circuit, current, env_seed, options.run);
+    ++result.evaluations;
+    double current_score = eval.score;
+    auto take_best = [&](const std::vector<double>& delays, const Evaluation& e) {
+      if (e.score < best_score || result.delays.empty()) {
+        best_score = e.score;
+        result.best_slack = e.run.min_slack;
+        result.delays = delays;
+        result.env_seed = env_seed;
+        result.report = e.run.report;
+        result.violation_found = !e.run.report.violations.empty();
+      }
+    };
+    take_best(current, eval);
+
+    for (int it = 0; it < options.iterations && !result.violation_found; ++it) {
+      if (box.movable.empty()) break;
+      std::vector<double> candidate = current;
+      const netlist::GateId g =
+          box.movable[rng.next_below(box.movable.size())];
+      const std::size_t i = static_cast<std::size_t>(g);
+      if (rng.next_bool(0.6)) {
+        // Corner snap: extreme delays expose the cliffs far more often
+        // than interior points do.
+        candidate[i] = rng.next_bool() ? box.hi[i] : box.lo[i];
+      } else if (box.lo[i] < box.hi[i]) {
+        candidate[i] = rng.next_double(box.lo[i], box.hi[i]);
+      }
+      Evaluation step = evaluate(spec, circuit, candidate, env_seed, options.run);
+      ++result.evaluations;
+      if (step.score <= current_score) {  // accept sideways moves too
+        current = std::move(candidate);
+        current_score = step.score;
+        take_best(current, step);
+      }
+    }
+  }
+  return result;
+}
+
+MonteCarloResult stressed_monte_carlo(const sg::StateGraph& spec,
+                                      const netlist::Netlist& circuit, int runs,
+                                      const AdversarialOptions& options) {
+  const sim::DelaySpace space(circuit, gatelib::GateLibrary::standard());
+  const SearchSpace box = make_space(circuit, space, options);
+
+  MonteCarloResult result;
+  result.runs = runs;
+  for (int r = 0; r < runs; ++r) {
+    const std::uint64_t seed = run_seed(options.seed, r);
+    Rng rng(seed);
+    const Evaluation eval =
+        evaluate(spec, circuit, sample_uniform(box, space, rng), seed, options.run);
+    if (!eval.run.report.violations.empty()) ++result.violating_runs;
+    result.min_slack = std::min(result.min_slack, eval.run.min_slack);
+  }
+  return result;
+}
+
+}  // namespace nshot::faults

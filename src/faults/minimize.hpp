@@ -1,0 +1,45 @@
+// Counterexample minimization: shrink a failing FaultScenario toward the
+// nominal circuit until every remaining perturbation is load-bearing.
+// Delta-debugging style — greedy 1-minimal fault removal to a fixpoint,
+// then per-gate delay reset toward the nominal vector — is sound here
+// because a scenario with pinned delays and a fixed seed replays
+// deterministically.  The result is the witness a human debugs: the one
+// fault (or the few off-nominal gate delays) that actually breaks the
+// circuit, with the waveform to look at.
+#pragma once
+
+#include <string>
+
+#include "faults/fault_model.hpp"
+#include "netlist/netlist.hpp"
+#include "sg/state_graph.hpp"
+#include "sim/conformance.hpp"
+
+namespace nshot::faults {
+
+struct MinimizeOptions {
+  ScenarioOptions run;
+  /// Sweeps of the per-gate "reset to nominal" pass (later resets can be
+  /// enabled by earlier ones, so one pass is not always enough).
+  int delay_passes = 2;
+};
+
+struct MinimizedWitness {
+  /// False when the input scenario did not actually fail — nothing to
+  /// minimize, the remaining fields describe the passing run.
+  bool reproduced = false;
+  FaultScenario scenario;  // minimized; delays always pinned (non-empty)
+  int faults_removed = 0;
+  int delays_reset = 0;       // gate delays returned to nominal
+  int off_nominal_gates = 0;  // gate delays the failure still needs
+  long evaluations = 0;       // scenario replays spent minimizing
+  sim::ConformanceReport report;  // the minimized scenario's run
+  std::string vcd;                // waveform of the minimized run
+};
+
+MinimizedWitness minimize_counterexample(const sg::StateGraph& spec,
+                                         const netlist::Netlist& circuit,
+                                         const FaultScenario& scenario,
+                                         const MinimizeOptions& options = {});
+
+}  // namespace nshot::faults

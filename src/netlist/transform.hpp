@@ -1,0 +1,50 @@
+// Whole-netlist rewriting helpers shared by the ablation benches and the
+// fault-injection harness (promoted from bench/ablation_util.hpp so that
+// every consumer rewrites netlists — and therefore samples the rewritten
+// delay spaces — identically).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "netlist/netlist.hpp"
+
+namespace nshot::netlist {
+
+/// Copy `source` into a new netlist with identical nets and primary
+/// inputs/outputs; every gate is passed through `transform`, which either
+/// returns the (possibly modified) gate to insert, or std::nullopt to take
+/// over insertion itself via the provided netlist reference (for 1-to-many
+/// rewrites).
+inline Netlist transform_netlist(
+    const Netlist& source,
+    const std::function<std::optional<Gate>(const Gate&, Netlist&)>& transform) {
+  Netlist result(source.name());
+  for (NetId n = 0; n < source.num_nets(); ++n) result.add_net(source.net_name(n));
+  for (const NetId n : source.primary_inputs()) result.add_primary_input(n);
+  for (const NetId n : source.primary_outputs()) result.add_primary_output(n);
+  for (const Gate& gate : source.gates()) {
+    std::optional<Gate> replacement = transform(gate, result);
+    if (replacement) result.add_gate(std::move(*replacement));
+  }
+  return result;
+}
+
+/// Find or create a constant-1 primary input rail (the environment holds
+/// constant rails at their fixed value; see conformance initial values).
+inline NetId const_one(Netlist& nl) {
+  if (const auto existing = nl.find_net("const1")) return *existing;
+  const NetId net = nl.add_net("const1");
+  nl.add_primary_input(net);
+  return net;
+}
+
+/// Find or create a constant-0 primary input rail.
+inline NetId const_zero(Netlist& nl) {
+  if (const auto existing = nl.find_net("const0")) return *existing;
+  const NetId net = nl.add_net("const0");
+  nl.add_primary_input(net);
+  return net;
+}
+
+}  // namespace nshot::netlist

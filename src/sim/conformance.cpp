@@ -1,6 +1,7 @@
 #include "sim/conformance.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <sstream>
 
@@ -12,14 +13,25 @@ namespace nshot::sim {
 
 using netlist::NetId;
 
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kHazard: return "hazard";
+    case ViolationKind::kEnvironment: return "environment";
+    case ViolationKind::kDeadlock: return "deadlock";
+    case ViolationKind::kEventBudget: return "event-budget";
+  }
+  return "unknown";
+}
+
 std::string ConformanceReport::summary() const {
   std::ostringstream out;
   out << runs << " run(s): " << external_transitions << " conformant external transitions, "
       << internal_toggles << " internal toggles, " << deadlocks << " deadlock(s), "
       << violations.size() << " violation(s)";
+  if (budget_exhausted > 0) out << ", " << budget_exhausted << " budget-exhausted run(s)";
   for (std::size_t i = 0; i < std::min<std::size_t>(violations.size(), 5); ++i)
     out << "\n  [seed " << violations[i].seed << " t=" << violations[i].time << "] "
-        << violations[i].description;
+        << violation_kind_name(violations[i].kind) << ": " << violations[i].description;
   return out.str();
 }
 
@@ -42,11 +54,12 @@ namespace {
 /// One closed-loop run; appends to the report.  When `recorder` is given,
 /// every net change (and the initial values) are captured for VCD export.
 void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
-              const ConformanceOptions& options, std::uint64_t seed, ConformanceReport& report,
+              const ClosedLoopConfig& config, ConformanceReport& report,
               VcdRecorder* recorder = nullptr) {
   const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
-  Simulator sim(circuit, lib, SimulatorOptions{seed, /*randomize_delays=*/true});
-  Rng rng(seed ^ 0x5eedfeedULL);
+  Simulator sim(circuit, lib, config.sim);
+  const std::uint64_t seed = config.sim.seed;
+  Rng rng(env_stream(config.env_seed != 0 ? config.env_seed : seed));
 
   // Signal <-> net maps (by name, the repository-wide convention).
   std::vector<NetId> signal_net(static_cast<std::size_t>(spec.num_signals()), -1);
@@ -65,6 +78,7 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
   NetObserver vcd_observer = recorder ? recorder->observer() : NetObserver{};
   sim.set_observer([&, vcd_observer](NetId net, bool value, double time) {
     if (vcd_observer) vcd_observer(net, value, time);
+    if (config.observer) config.observer(net, value, time);
     const int x = net_signal[static_cast<std::size_t>(net)];
     if (x < 0 || failed) return;  // internal net, or already failing
     const sg::TransitionLabel label{x, value};
@@ -76,43 +90,70 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
     }
     failed = true;
     report.violations.push_back(ConformanceViolation{
-        seed, time,
+        seed, time, spec.is_input(x) ? ViolationKind::kEnvironment : ViolationKind::kHazard,
         "unexpected transition " + spec.label_name(label) + " in state " +
             spec.state_name(state) + (spec.is_input(x) ? " (environment bug)" : " (hazard)")});
   });
 
   sim.initialize(initial_net_values(spec, circuit));
   if (recorder) recorder->capture_initial(sim);
+  if (config.on_initialized) config.on_initialized(sim);
+  for (const auto& [net, value] : config.forces) sim.force_net(net, value);
 
   struct InputDecision {
     sg::TransitionLabel label;
     double time;
   };
   std::optional<InputDecision> decision;
+  std::size_t next_injection = 0;
+  constexpr double kNever = std::numeric_limits<double>::infinity();
 
-  while (!failed && run_transitions < options.max_transitions &&
-         sim.now() < options.time_limit) {
-    // (Re)validate or make the environment's next input decision.
+  while (!failed && run_transitions < config.max_transitions &&
+         sim.now() < config.time_limit && !sim.budget_exhausted()) {
+    // (Re)validate or make the environment's next input decision.  A
+    // stuck-at input net cannot be toggled by the environment, so labels
+    // on forced nets are not offered.
     if (decision && !spec.enabled(state, decision->label)) decision.reset();
     if (!decision) {
       std::vector<sg::TransitionLabel> choices;
       for (const sg::TransitionLabel& label : spec.enabled_labels(state))
-        if (spec.is_input(label.signal)) choices.push_back(label);
+        if (spec.is_input(label.signal) &&
+            !sim.is_forced(signal_net[static_cast<std::size_t>(label.signal)]))
+          choices.push_back(label);
       if (!choices.empty()) {
         const sg::TransitionLabel pick = choices[rng.next_below(choices.size())];
         decision = InputDecision{
-            pick, sim.now() + rng.next_double(options.input_delay_min, options.input_delay_max)};
+            pick, sim.now() + rng.next_double(config.input_delay_min, config.input_delay_max)};
       }
+    }
+
+    const double event_time = sim.has_pending_events() ? sim.next_event_time() : kNever;
+    const double decision_time = decision ? decision->time : kNever;
+    const double injection_time = next_injection < config.injections.size()
+                                      ? std::max(config.injections[next_injection].time, sim.now())
+                                      : kNever;
+
+    // A due injection preempts both circuit events and the environment:
+    // the fault is already present at that instant.
+    if (next_injection < config.injections.size() && injection_time <= event_time &&
+        injection_time <= decision_time) {
+      const TimedInjection& inj = config.injections[next_injection++];
+      sim.advance_time(injection_time);
+      if (inj.release)
+        sim.release_net(inj.net);
+      else
+        sim.force_net(inj.net, inj.value);
+      continue;
     }
 
     // Fundamental mode: drain all circuit activity before the input fires.
     if (sim.has_pending_events() &&
-        (!decision || options.fundamental_mode || sim.next_event_time() <= decision->time)) {
+        (!decision || config.fundamental_mode || event_time <= decision->time)) {
       sim.step();
       continue;
     }
     if (decision) {
-      if (options.fundamental_mode && decision->time < sim.now())
+      if (config.fundamental_mode && decision->time < sim.now())
         decision->time = sim.now();  // the circuit outlasted the planned instant
       sim.set_input(signal_net[static_cast<std::size_t>(decision->label.signal)],
                     decision->label.rising, decision->time);
@@ -123,18 +164,37 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
       continue;
     }
 
-    // No circuit events and no possible input: quiescent or deadlocked.
+    // No circuit events, no injection, and no possible input: quiescent or
+    // deadlocked.  Reaching here with no decision means every enabled input
+    // label sits on a forced net, so an enabled input is a starved
+    // environment, not a clean endpoint.
     bool output_pending = false;
-    for (const sg::TransitionLabel& label : spec.enabled_labels(state))
-      if (!spec.is_input(label.signal)) output_pending = true;
-    if (output_pending) {
+    bool input_starved = false;
+    for (const sg::TransitionLabel& label : spec.enabled_labels(state)) {
+      if (!spec.is_input(label.signal))
+        output_pending = true;
+      else if (sim.is_forced(signal_net[static_cast<std::size_t>(label.signal)]))
+        input_starved = true;
+    }
+    if (output_pending || input_starved) {
       ++report.deadlocks;
       report.violations.push_back(ConformanceViolation{
-          seed, sim.now(),
-          "deadlock: circuit quiescent but spec state " + spec.state_name(state) +
-              " still enables a non-input transition"});
+          seed, sim.now(), ViolationKind::kDeadlock,
+          output_pending
+              ? "circuit quiescent but spec state " + spec.state_name(state) +
+                    " still enables a non-input transition"
+              : "circuit quiescent and every transition spec state " + spec.state_name(state) +
+                    " enables is an input pinned by a fault"});
     }
     break;
+  }
+
+  if (sim.budget_exhausted()) {
+    ++report.budget_exhausted;
+    report.violations.push_back(ConformanceViolation{
+        seed, sim.now(), ViolationKind::kEventBudget,
+        "event budget exhausted after " + std::to_string(sim.events_processed()) +
+            " events (runaway oscillation under the current delays/faults?)"});
   }
 
   report.external_transitions += run_transitions;
@@ -150,26 +210,43 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
 
 }  // namespace
 
+ConformanceReport run_closed_loop(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+                                  const ClosedLoopConfig& config, VcdRecorder* recorder) {
+  ConformanceReport report;
+  report.runs = 1;
+  run_once(spec, circuit, config, report, recorder);
+  return report;
+}
+
 ConformanceReport check_conformance(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                                     const ConformanceOptions& options) {
   ConformanceReport report;
   report.runs = options.runs;
-  for (int r = 0; r < options.runs; ++r)
-    run_once(spec, circuit, options, options.seed + static_cast<std::uint64_t>(r) * 0x9e37ULL,
-             report);
+  for (int r = 0; r < options.runs; ++r) {
+    ClosedLoopConfig config;
+    config.sim.seed = run_seed(options.seed, r);
+    config.sim.randomize_delays = true;
+    config.sim.max_events = options.max_events;
+    config.max_transitions = options.max_transitions;
+    config.input_delay_min = options.input_delay_min;
+    config.input_delay_max = options.input_delay_max;
+    config.time_limit = options.time_limit;
+    config.fundamental_mode = options.fundamental_mode;
+    run_once(spec, circuit, config, report);
+  }
   return report;
 }
 
 TracedRun record_vcd_trace(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                            std::uint64_t seed, int max_transitions) {
   VcdRecorder recorder(circuit);
-  ConformanceOptions options;
-  options.runs = 1;
-  options.seed = seed;
-  options.max_transitions = max_transitions;
+  ClosedLoopConfig config;
+  config.sim.seed = seed;
+  config.sim.randomize_delays = true;
+  config.max_transitions = max_transitions;
   TracedRun traced;
   traced.report.runs = 1;
-  run_once(spec, circuit, options, seed, traced.report, &recorder);
+  run_once(spec, circuit, config, traced.report, &recorder);
   traced.vcd = recorder.write();
   return traced;
 }

@@ -23,6 +23,8 @@
 
 namespace nshot::sim {
 
+class VcdRecorder;
+
 struct ConformanceOptions {
   std::uint64_t seed = 1;
   int runs = 20;                 // independent delay samples
@@ -30,6 +32,10 @@ struct ConformanceOptions {
   double input_delay_min = 0.1;  // environment reaction interval
   double input_delay_max = 12.0;
   double time_limit = 1e6;
+  /// Per-run event budget (0 = unbounded).  A faulty circuit can
+  /// oscillate; exceeding the budget is reported as a kEventBudget
+  /// violation instead of hanging the sweep.
+  std::uint64_t max_events = 5'000'000;
   /// Fundamental-mode style environment: wait for the circuit to become
   /// quiescent before committing the next input (the paper's methods do
   /// NOT need this — the default environment "can react immediately" —
@@ -38,9 +44,19 @@ struct ConformanceOptions {
   bool fundamental_mode = false;
 };
 
+enum class ViolationKind {
+  kHazard,       // non-input transition the spec does not enable
+  kEnvironment,  // input transition the spec does not enable
+  kDeadlock,     // quiescent while the spec enables a non-input transition
+  kEventBudget,  // run aborted after max_events (likely oscillation)
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
 struct ConformanceViolation {
   std::uint64_t seed = 0;
   double time = 0.0;
+  ViolationKind kind = ViolationKind::kHazard;
   std::string description;
 };
 
@@ -51,6 +67,7 @@ struct ConformanceReport {
   long absorbed_pulses = 0;       // sub-threshold pulses the MHS filtered
   double simulated_time = 0.0;    // total simulated time over all runs
   int deadlocks = 0;
+  int budget_exhausted = 0;       // runs that hit the event budget
   std::vector<ConformanceViolation> violations;
 
   /// Average simulated time per observable transition (dynamic cycle-time
@@ -76,6 +93,54 @@ ConformanceReport check_conformance(const sg::StateGraph& spec,
 /// signal rails (q and qb), const0/const1, and feedback-cut state nets.
 std::vector<std::pair<netlist::NetId, bool>> initial_net_values(
     const sg::StateGraph& spec, const netlist::Netlist& circuit);
+
+/// A runtime fault action during a closed-loop run: at `time`, either pin
+/// `net` to `value` (force) or un-pin it (release).  A glitch pulse is a
+/// force/release pair `width` apart.
+struct TimedInjection {
+  double time = 0.0;
+  netlist::NetId net = -1;
+  bool release = false;
+  bool value = false;
+};
+
+/// Full configuration of a single closed-loop run — the unit the fault
+/// harness perturbs.  `check_conformance` is a seed sweep over these.
+struct ClosedLoopConfig {
+  /// Delay assignment (seed / explicit vector / overrides) and event
+  /// budget for the run.
+  SimulatorOptions sim;
+  /// Environment RNG stream; 0 derives it from sim.seed (the default
+  /// coupling used by the seed sweep).
+  std::uint64_t env_seed = 0;
+  int max_transitions = 200;
+  double input_delay_min = 0.1;
+  double input_delay_max = 12.0;
+  double time_limit = 1e6;
+  bool fundamental_mode = false;
+  /// Nets pinned for the whole run immediately after initialization
+  /// (stuck-at faults).
+  std::vector<std::pair<netlist::NetId, bool>> forces;
+  /// Timed force/release actions, interleaved with circuit events in time
+  /// order (glitch injection).  Must be sorted by time.
+  std::vector<TimedInjection> injections;
+  /// Extra observer, invoked on every committed net change before the
+  /// conformance check (margin probes and other instrumentation).
+  NetObserver observer;
+  /// Called once right after Simulator::initialize, before any force or
+  /// event — probes capture the settled initial net values here (the
+  /// observer only sees changes committed while stepping).
+  std::function<void(const Simulator&)> on_initialized;
+};
+
+/// Run ONE closed-loop simulation of `circuit` against `spec` under the
+/// given configuration; returns a single-run report (runs == 1).  When
+/// `recorder` is non-null every net change is also captured for VCD
+/// export.  This is the primitive under `check_conformance`,
+/// `record_vcd_trace` and the src/faults harness.
+ConformanceReport run_closed_loop(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+                                  const ClosedLoopConfig& config,
+                                  VcdRecorder* recorder = nullptr);
 
 /// Run one closed-loop simulation and return its full waveform as VCD
 /// text (see sim/vcd.hpp) together with the conformance outcome.

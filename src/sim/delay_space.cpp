@@ -1,0 +1,45 @@
+#include "sim/delay_space.hpp"
+
+namespace nshot::sim {
+
+using gatelib::GateType;
+using netlist::Gate;
+using netlist::GateId;
+
+DelaySpace::DelaySpace(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib) {
+  const std::size_t n = static_cast<std::size_t>(netlist.num_gates());
+  lo_.resize(n);
+  hi_.resize(n);
+  fixed_.resize(n);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    const std::size_t i = static_cast<std::size_t>(g);
+    if (gate.type == GateType::kDelayLine || gate.type == GateType::kInertialDelay) {
+      lo_[i] = hi_[i] = gate.explicit_delay;
+      fixed_[i] = true;
+    } else if (gate.type == GateType::kMhsFlipFlop) {
+      lo_[i] = hi_[i] = lib.mhs_response();
+      fixed_[i] = true;
+    } else {
+      const gatelib::GateTiming timing = lib.timing(gate.type, static_cast<int>(gate.inputs.size()));
+      lo_[i] = timing.min_delay;
+      hi_[i] = timing.max_delay;
+      fixed_[i] = false;
+    }
+  }
+}
+
+std::vector<double> DelaySpace::nominal_vector() const {
+  std::vector<double> delays(lo_.size());
+  for (std::size_t g = 0; g < lo_.size(); ++g) delays[g] = 0.5 * (lo_[g] + hi_[g]);
+  return delays;
+}
+
+std::vector<double> DelaySpace::sample(Rng& rng) const {
+  std::vector<double> delays(lo_.size());
+  for (std::size_t g = 0; g < lo_.size(); ++g)
+    delays[g] = fixed_[g] ? lo_[g] : rng.next_double(lo_[g], hi_[g]);
+  return delays;
+}
+
+}  // namespace nshot::sim

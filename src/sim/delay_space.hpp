@@ -1,0 +1,58 @@
+// The per-gate delay space of a netlist under the pure delay model: each
+// simple gate may take any delay in the library's [min, max] interval,
+// while instance-delay elements (delay lines, inertial pads) and the MHS
+// flip-flop response are fixed by the cell.  This is the single source of
+// truth for delay sampling — the simulator, the conformance checker's seed
+// sweeps and the fault-injection harness all draw from it, so a seed
+// identifies the same delay assignment everywhere.
+#pragma once
+
+#include <vector>
+
+#include "gatelib/gate_library.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace nshot::sim {
+
+class DelaySpace {
+ public:
+  DelaySpace(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib);
+
+  int num_gates() const { return static_cast<int>(lo_.size()); }
+
+  /// True when the gate's delay is fixed by the instance or cell (delay
+  /// lines, inertial pads, MHS flip-flops) rather than sampled.
+  bool fixed(netlist::GateId g) const { return fixed_[static_cast<std::size_t>(g)]; }
+
+  double lo(netlist::GateId g) const { return lo_[static_cast<std::size_t>(g)]; }
+  double hi(netlist::GateId g) const { return hi_[static_cast<std::size_t>(g)]; }
+
+  /// Midpoint delay (the deterministic baseline); the fixed value for
+  /// fixed gates.
+  double nominal(netlist::GateId g) const {
+    return 0.5 * (lo(g) + hi(g));
+  }
+  std::vector<double> nominal_vector() const;
+
+  /// Sample one delay per gate.  Consumes the RNG exactly like the
+  /// simulator's internal sampler, so Simulator(seed) and
+  /// DelaySpace::sample(Rng(seed)) agree gate by gate.
+  std::vector<double> sample(Rng& rng) const;
+
+  /// Search bounds stretched beyond the library interval by `factor` >= 1
+  /// (the delay-outlier fault model: a marginal cell slower/faster than
+  /// its characterization).  Fixed gates are never stretched.
+  double stressed_lo(netlist::GateId g, double factor) const {
+    return fixed(g) ? lo(g) : lo(g) / factor;
+  }
+  double stressed_hi(netlist::GateId g, double factor) const {
+    return fixed(g) ? hi(g) : hi(g) * factor;
+  }
+
+ private:
+  std::vector<double> lo_, hi_;
+  std::vector<bool> fixed_;
+};
+
+}  // namespace nshot::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/delay_space.hpp"
 #include "util/error.hpp"
 
 namespace nshot::sim {
@@ -17,30 +18,33 @@ constexpr double kTimeEps = 1e-9;
 
 Simulator::Simulator(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib,
                      const SimulatorOptions& options)
-    : netlist_(netlist), lib_(lib), rng_(options.seed) {
+    : netlist_(netlist), lib_(lib), rng_(options.seed), max_events_(options.max_events) {
   const std::size_t num_nets = static_cast<std::size_t>(netlist.num_nets());
   values_.assign(num_nets, false);
   projected_.assign(num_nets, false);
+  forced_.assign(num_nets, false);
   toggles_.assign(num_nets, 0);
   fanout_.assign(num_nets, {});
   mhs_.assign(static_cast<std::size_t>(netlist.num_gates()), {});
   inertial_.assign(static_cast<std::size_t>(netlist.num_gates()), {});
-  gate_delay_.assign(static_cast<std::size_t>(netlist.num_gates()), 0.0);
 
-  for (GateId g = 0; g < netlist.num_gates(); ++g) {
-    const Gate& gate = netlist.gate(g);
-    for (const NetId in : gate.inputs) fanout_[static_cast<std::size_t>(in)].push_back(g);
-    if (gate.type == GateType::kDelayLine || gate.type == GateType::kInertialDelay) {
-      gate_delay_[static_cast<std::size_t>(g)] = gate.explicit_delay;
-    } else if (gate.type == GateType::kMhsFlipFlop) {
-      gate_delay_[static_cast<std::size_t>(g)] = lib.mhs_response();
-    } else {
-      const gatelib::GateTiming timing =
-          lib.timing(gate.type, static_cast<int>(gate.inputs.size()));
-      gate_delay_[static_cast<std::size_t>(g)] =
-          options.randomize_delays ? rng_.next_double(timing.min_delay, timing.max_delay)
-                                   : 0.5 * (timing.min_delay + timing.max_delay);
-    }
+  for (GateId g = 0; g < netlist.num_gates(); ++g)
+    for (const NetId in : netlist.gate(g).inputs) fanout_[static_cast<std::size_t>(in)].push_back(g);
+
+  const DelaySpace space(netlist, lib);
+  if (!options.explicit_delays.empty()) {
+    NSHOT_REQUIRE(options.explicit_delays.size() == static_cast<std::size_t>(netlist.num_gates()),
+                  "explicit_delays must hold one delay per gate");
+    gate_delay_ = options.explicit_delays;
+  } else if (options.randomize_delays) {
+    gate_delay_ = space.sample(rng_);
+  } else {
+    gate_delay_ = space.nominal_vector();
+  }
+  for (const auto& [g, delay] : options.delay_overrides) {
+    NSHOT_REQUIRE(g >= 0 && g < netlist.num_gates(), "delay override on unknown gate");
+    NSHOT_REQUIRE(delay >= 0.0, "delay override must be non-negative");
+    gate_delay_[static_cast<std::size_t>(g)] = delay;
   }
 }
 
@@ -155,17 +159,61 @@ void Simulator::set_input(NetId net, bool value, double at_time) {
 }
 
 void Simulator::schedule_net(NetId net, bool value, double time, std::uint64_t generation) {
+  // Driver activity on a pinned net is swallowed by the fault, not merely
+  // dropped at commit time: scheduling it would corrupt the projected view
+  // (release_net re-derives the driver value from scratch).
+  if (forced_[static_cast<std::size_t>(net)]) return;
   if (generation == 0 && projected_[static_cast<std::size_t>(net)] == value) return;
   projected_[static_cast<std::size_t>(net)] = value;
   events_.push(Event{time, next_seq_++, EventKind::kNetChange, net, value, generation});
 }
 
-void Simulator::commit_net(NetId net, bool value) {
+void Simulator::commit_net(NetId net, bool value, bool forced_commit) {
+  if (forced_[static_cast<std::size_t>(net)] && !forced_commit) return;
   if (values_[static_cast<std::size_t>(net)] == value) return;
   values_[static_cast<std::size_t>(net)] = value;
   ++toggles_[static_cast<std::size_t>(net)];
   if (observer_) observer_(net, value, now_);
   for (const GateId g : fanout_[static_cast<std::size_t>(net)]) evaluate_gate(g);
+}
+
+void Simulator::force_net(NetId net, bool value) {
+  NSHOT_REQUIRE(initialized_, "initialize the simulator before forcing nets");
+  forced_[static_cast<std::size_t>(net)] = true;
+  // Pin both the committed and projected views: pending driver events for
+  // this net still pop but commit_net drops them while the force holds.
+  projected_[static_cast<std::size_t>(net)] = value;
+  commit_net(net, value, /*forced_commit=*/true);
+}
+
+void Simulator::release_net(NetId net) {
+  NSHOT_REQUIRE(initialized_, "initialize the simulator before releasing nets");
+  NSHOT_REQUIRE(forced_[static_cast<std::size_t>(net)], "release_net on a net that is not forced");
+  forced_[static_cast<std::size_t>(net)] = false;
+  // Restore the driver's present output immediately (zero-delay snap-back —
+  // the fault, not the gate, owned the transition).  Storage drivers cannot
+  // be re-evaluated combinationally, so forcing is restricted to simple
+  // gates and driverless nets.
+  const auto driver = netlist_.driver(net);
+  bool restored = values_[static_cast<std::size_t>(net)];
+  if (driver.has_value()) {
+    const Gate& gate = netlist_.gate(*driver);
+    NSHOT_REQUIRE(gate.type == GateType::kAnd || gate.type == GateType::kOr ||
+                      gate.type == GateType::kInv || gate.type == GateType::kBuf,
+                  "release_net: net " + netlist_.net_name(net) +
+                      " is driven by a non-combinational gate");
+    restored = eval_combinational(gate);
+  }
+  projected_[static_cast<std::size_t>(net)] = restored;
+  commit_net(net, restored, /*forced_commit=*/true);
+}
+
+void Simulator::advance_time(double t) {
+  NSHOT_REQUIRE(initialized_, "initialize the simulator before advancing time");
+  NSHOT_REQUIRE(t + kTimeEps >= now_, "cannot advance the clock into the past");
+  NSHOT_REQUIRE(events_.empty() || t <= events_.top().time + kTimeEps,
+                "cannot advance the clock past a pending event");
+  now_ = std::max(now_, t);
 }
 
 void Simulator::evaluate_gate(GateId g) {
@@ -281,6 +329,11 @@ void Simulator::handle_mhs_probe(GateId g, bool probing_set) {
 bool Simulator::step() {
   NSHOT_REQUIRE(initialized_, "initialize the simulator before stepping");
   if (events_.empty()) return false;
+  if (max_events_ != 0 && events_processed_ >= max_events_) {
+    budget_exhausted_ = true;
+    return false;
+  }
+  ++events_processed_;
   const Event event = events_.top();
   events_.pop();
   now_ = event.time;
@@ -303,7 +356,8 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(double time_limit) {
-  while (!events_.empty() && events_.top().time <= time_limit) step();
+  while (!events_.empty() && events_.top().time <= time_limit)
+    if (!step()) break;  // budget exhausted
 }
 
 double Simulator::next_event_time() const {

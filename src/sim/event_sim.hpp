@@ -34,6 +34,18 @@ struct SimulatorOptions {
   /// Sample per-gate delays uniformly from the library interval; when
   /// false every gate uses the midpoint (deterministic baseline).
   bool randomize_delays = true;
+  /// Complete per-gate delay assignment; overrides sampling when non-empty
+  /// (must then hold one delay per gate).  Used by the adversarial delay
+  /// search, which optimizes the vector directly.
+  std::vector<double> explicit_delays;
+  /// Targeted per-gate delay patches applied after sampling/explicit
+  /// assignment — the delay-outlier and delay-line-shaving fault models.
+  std::vector<std::pair<netlist::GateId, double>> delay_overrides;
+  /// Abort the run once this many events have been processed (0 = no
+  /// budget).  Injected faults can turn a quiescent circuit into an
+  /// oscillator; the budget converts unbounded queue growth into a
+  /// structured "budget exhausted" outcome.
+  std::uint64_t max_events = 0;
 };
 
 /// Called on every committed net value change.
@@ -52,6 +64,22 @@ class Simulator {
 
   /// Schedule an external change of a primary input.
   void set_input(netlist::NetId net, bool value, double at_time);
+
+  /// Fault-injection instruments.  `force_net` pins a net to `value` at the
+  /// current time, overriding its driver (stuck-at faults; a glitch is a
+  /// force/release pair).  `release_net` un-pins the net and restores the
+  /// driver's present output (the driven net must be combinational —
+  /// AND/OR/INV/BUF — or driverless).  Both commit immediately and
+  /// propagate through the fanout like any net change.
+  void force_net(netlist::NetId net, bool value);
+  void release_net(netlist::NetId net);
+  bool is_forced(netlist::NetId net) const { return forced_[static_cast<std::size_t>(net)]; }
+
+  /// Advance the simulation clock to `t` without processing events; `t`
+  /// must not lie in the past or beyond the next pending event.  Lets a
+  /// harness timestamp a runtime injection correctly when the circuit is
+  /// quiescent at the injection instant.
+  void advance_time(double t);
 
   void set_observer(NetObserver observer) { observer_ = std::move(observer); }
 
@@ -76,6 +104,15 @@ class Simulator {
   /// Number of sub-threshold excitation pulses absorbed by the MHS
   /// flip-flops (the hazard filter of Figure 5 doing its job).
   long mhs_absorbed_pulses() const { return mhs_absorbed_; }
+
+  /// The per-gate delay assignment of this run (sampled, explicit, or
+  /// overridden) — the witness the fault harness minimizes.
+  const std::vector<double>& gate_delays() const { return gate_delay_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  /// True once the event budget (SimulatorOptions::max_events) was hit;
+  /// step() then refuses to process further events.
+  bool budget_exhausted() const { return budget_exhausted_; }
 
   const netlist::Netlist& circuit() const { return netlist_; }
 
@@ -110,7 +147,7 @@ class Simulator {
   };
 
   void schedule_net(netlist::NetId net, bool value, double time, std::uint64_t generation = 0);
-  void commit_net(netlist::NetId net, bool value);
+  void commit_net(netlist::NetId net, bool value, bool forced_commit = false);
   void evaluate_gate(netlist::GateId g);
   bool eval_combinational(const netlist::Gate& gate) const;
   void handle_mhs_input(netlist::GateId g);
@@ -122,12 +159,16 @@ class Simulator {
   std::vector<double> gate_delay_;        // sampled per gate
   std::vector<bool> values_;              // committed net values
   std::vector<bool> projected_;           // value after all pending events
+  std::vector<bool> forced_;              // nets pinned by force_net
   std::vector<long> toggles_;
   std::vector<std::vector<netlist::GateId>> fanout_;  // net -> reader gates
   std::vector<MhsState> mhs_;             // per gate (only MHS entries used)
   std::vector<InertialState> inertial_;   // per gate (only inertial entries used)
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t max_events_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool budget_exhausted_ = false;
   long mhs_absorbed_ = 0;
   double now_ = 0.0;
   bool initialized_ = false;

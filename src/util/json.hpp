@@ -1,0 +1,46 @@
+// Minimal streaming JSON writer used by the reporting layers (the fault
+// harness emits machine-readable robustness reports).  Append-style: the
+// writer tracks nesting and comma placement; values are escaped per RFC
+// 8259.  Non-finite doubles are emitted as null (JSON has no inf/nan).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nshot {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next member (only valid inside an object).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(long number);
+  JsonWriter& value(int number) { return value(static_cast<long>(number)); }
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The document rendered so far.  Call after closing every scope.
+  std::string str() const;
+
+ private:
+  void comma();
+
+  std::ostringstream out_;
+  std::vector<bool> needs_comma_;  // one entry per open scope
+};
+
+/// `text` with JSON string escaping applied, without surrounding quotes.
+std::string json_escape(const std::string& text);
+
+}  // namespace nshot

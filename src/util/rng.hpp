@@ -7,6 +7,22 @@
 
 namespace nshot {
 
+/// Canonical seed derivations shared by the conformance checker, the
+/// benches and the fault-injection harness, so that every harness that
+/// sweeps seeds samples the same family of delay assignments for the same
+/// base seed (run r of base seed s is reproducible from (s, r) alone).
+constexpr std::uint64_t kRunSeedStride = 0x9e37ULL;
+constexpr std::uint64_t kEnvStreamSalt = 0x5eedfeedULL;
+
+/// Seed of the r-th independent run of a sweep starting at `base`.
+constexpr std::uint64_t run_seed(std::uint64_t base, int run) {
+  return base + static_cast<std::uint64_t>(run) * kRunSeedStride;
+}
+
+/// Decorrelated stream for the environment automaton of a closed-loop run
+/// (the circuit's delay sampler uses the plain seed).
+constexpr std::uint64_t env_stream(std::uint64_t seed) { return seed ^ kEnvStreamSalt; }
+
 /// Deterministic 64-bit PRNG (xorshift* seeded through splitmix64).
 class Rng {
  public:

@@ -1,6 +1,12 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace nshot {
 
@@ -28,6 +34,37 @@ std::string strip_comment_and_trim(std::string_view line) {
 
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+long parse_long(std::string_view text, long lo, long hi, std::string_view what) {
+  const std::string copy(text);  // strtol needs a NUL terminator
+  NSHOT_REQUIRE(!copy.empty(), std::string(what) + ": empty value");
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(copy.c_str(), &end, 10);
+  NSHOT_REQUIRE(end == copy.c_str() + copy.size() && errno == 0,
+                std::string(what) + ": '" + copy + "' is not a valid integer");
+  NSHOT_REQUIRE(value >= lo && value <= hi,
+                std::string(what) + ": " + copy + " is outside [" + std::to_string(lo) + ", " +
+                    std::to_string(hi) + "]");
+  return value;
+}
+
+int parse_int(std::string_view text, int lo, int hi, std::string_view what) {
+  return static_cast<int>(parse_long(text, lo, hi, what));
+}
+
+double parse_double(std::string_view text, double lo, double hi, std::string_view what) {
+  const std::string copy(text);
+  NSHOT_REQUIRE(!copy.empty(), std::string(what) + ": empty value");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  NSHOT_REQUIRE(end == copy.c_str() + copy.size() && errno == 0 && std::isfinite(value),
+                std::string(what) + ": '" + copy + "' is not a valid number");
+  NSHOT_REQUIRE(value >= lo && value <= hi,
+                std::string(what) + ": " + copy + " is outside the accepted range");
+  return value;
 }
 
 }  // namespace nshot

@@ -16,4 +16,14 @@ std::string strip_comment_and_trim(std::string_view line);
 /// True if `text` starts with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);
 
+/// Parse a decimal integer in [lo, hi]; throws nshot::Error on malformed
+/// input, trailing garbage, or out-of-range values (unlike std::atoi,
+/// which silently yields 0).  `what` names the value in error messages.
+long parse_long(std::string_view text, long lo, long hi, std::string_view what);
+int parse_int(std::string_view text, int lo, int hi, std::string_view what);
+
+/// Parse a finite decimal floating-point value in [lo, hi]; throws
+/// nshot::Error on malformed or out-of-range input.
+double parse_double(std::string_view text, double lo, double hi, std::string_view what);
+
 }  // namespace nshot

@@ -20,8 +20,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_suite/benchmarks.hpp"
+#include "exec/thread_pool.hpp"
 #include "faults/stress.hpp"
 #include "nshot/synthesis.hpp"
 
@@ -33,29 +36,40 @@ void print_margin_sweep() {
   std::printf("Robustness margins and fault battery (per benchmark)\n\n");
   std::printf("%-15s %8s %8s %8s %9s %9s %9s\n", "circuit", "fire", "absorb", "eq1",
               "faults", "detected", "survived");
-  for (const auto& info : bench_suite::all_benchmarks()) {
-    if (info.paper_states > 2500) continue;
-    const sg::StateGraph g = info.build();
-    const core::SynthesisResult result = core::synthesize(g);
-    faults::StressOptions options;
-    options.seed = 2026;
-    options.margin_runs = 3;
-    options.run.max_transitions = 80;
-    options.adversarial.restarts = 0;  // margin + battery only
-    const faults::StressReport report =
-        faults::run_stress(g, result.circuit, info.name, options);
+  // One stress campaign per benchmark, run in parallel and printed in
+  // suite order — each campaign is internally deterministic (fixed seed),
+  // so the table is identical at every jobs value.
+  std::vector<bench_suite::BenchmarkInfo> selected;
+  for (const auto& info : bench_suite::all_benchmarks())
+    if (info.paper_states <= 2500) selected.push_back(info);
+  const std::vector<std::string> rows =
+      exec::parallel_map<std::string>(static_cast<int>(selected.size()), [&](int i) {
+        const auto& info = selected[static_cast<std::size_t>(i)];
+        const sg::StateGraph g = info.build();
+        const core::SynthesisResult result = core::synthesize(g);
+        faults::StressOptions options;
+        options.seed = 2026;
+        options.margin_runs = 3;
+        options.run.max_transitions = 80;
+        options.adversarial.restarts = 0;  // margin + battery only
+        const faults::StressReport report =
+            faults::run_stress(g, result.circuit, info.name, options);
 
-    double min_fire = faults::kNoMargin, min_absorb = faults::kNoMargin;
-    int survived = 0, failed = 0;
-    for (const faults::SignalMargins& s : report.signals) {
-      min_fire = std::min(min_fire, s.omega.min_fire_slack);
-      min_absorb = std::min(min_absorb, s.omega.min_absorb_slack);
-      survived += s.faults_survived;
-      failed += s.faults_failed;
-    }
-    std::printf("%-15s %8.2f %8.2f %8.2f %9zu %9d %9d\n", info.name.c_str(), min_fire,
-                min_absorb, report.min_eq1_slack, report.outcomes.size(), failed, survived);
-  }
+        double min_fire = faults::kNoMargin, min_absorb = faults::kNoMargin;
+        int survived = 0, failed = 0;
+        for (const faults::SignalMargins& s : report.signals) {
+          min_fire = std::min(min_fire, s.omega.min_fire_slack);
+          min_absorb = std::min(min_absorb, s.omega.min_absorb_slack);
+          survived += s.faults_survived;
+          failed += s.faults_failed;
+        }
+        char line[160];
+        std::snprintf(line, sizeof line, "%-15s %8.2f %8.2f %8.2f %9zu %9d %9d\n",
+                      info.name.c_str(), min_fire, min_absorb, report.min_eq1_slack,
+                      report.outcomes.size(), failed, survived);
+        return std::string(line);
+      });
+  for (const std::string& row : rows) std::fputs(row.c_str(), stdout);
   std::printf("\n(fire/absorb: min distance of any excitation pulse to the threshold\n");
   std::printf(" omega from above/below; eq1: min acknowledgement slack; detected:\n");
   std::printf(" injected faults the closed-loop conformance check catches.)\n");
@@ -135,6 +149,7 @@ BENCHMARK(bm_fault_scenario);
 }  // namespace
 
 int main(int argc, char** argv) {
+  nshot::exec::set_default_jobs(nshot::exec::hardware_jobs());
   print_margin_sweep();
   print_adversarial_demo();
   benchmark::Initialize(&argc, argv);

@@ -17,9 +17,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "baselines/baselines.hpp"
 #include "bench_suite/benchmarks.hpp"
+#include "exec/thread_pool.hpp"
 #include "nshot/synthesis.hpp"
 
 namespace {
@@ -38,32 +40,40 @@ void print_table() {
               "SIS  paper -> ours", "SYN  paper -> ours", "ASSASSIN paper -> ours");
   std::printf("%-15s %6s %6s |\n", "", "paper", "ours");
 
-  for (const auto& info : bench_suite::all_benchmarks()) {
-    const sg::StateGraph g = info.build();
+  // Rows are independent synthesis problems: build them in parallel and
+  // print in suite order, so the table is identical at every jobs value.
+  const auto& suite = bench_suite::all_benchmarks();
+  const std::vector<std::string> rows =
+      exec::parallel_map<std::string>(static_cast<int>(suite.size()), [&](int i) {
+        const auto& info = suite[static_cast<std::size_t>(i)];
+        const sg::StateGraph g = info.build();
 
-    // SIS column: circuits given in SG format carry footnote (4).
-    std::string sis_ours;
-    if (info.sg_format) {
-      sis_ours = "(4)";
-    } else {
-      const auto sis = baselines::synthesize_sis_like(g);
-      sis_ours = sis.ok() ? fmt_stats(sis.result->stats.area, sis.result->stats.delay)
-                          : baselines::failure_text(*sis.failure).substr(0, 3);
-    }
+        // SIS column: circuits given in SG format carry footnote (4).
+        std::string sis_ours;
+        if (info.sg_format) {
+          sis_ours = "(4)";
+        } else {
+          const auto sis = baselines::synthesize_sis_like(g);
+          sis_ours = sis.ok() ? fmt_stats(sis.result->stats.area, sis.result->stats.delay)
+                              : baselines::failure_text(*sis.failure).substr(0, 3);
+        }
 
-    const auto syn = baselines::synthesize_syn_like(g);
-    const std::string syn_ours =
-        syn.ok() ? fmt_stats(syn.result->stats.area, syn.result->stats.delay)
-                 : baselines::failure_text(*syn.failure).substr(0, 3);
+        const auto syn = baselines::synthesize_syn_like(g);
+        const std::string syn_ours =
+            syn.ok() ? fmt_stats(syn.result->stats.area, syn.result->stats.delay)
+                     : baselines::failure_text(*syn.failure).substr(0, 3);
 
-    const core::SynthesisResult nshot = core::synthesize(g);
-    const std::string nshot_ours = fmt_stats(nshot.stats.area, nshot.stats.delay);
+        const core::SynthesisResult nshot = core::synthesize(g);
+        const std::string nshot_ours = fmt_stats(nshot.stats.area, nshot.stats.delay);
 
-    std::printf("%-15s %6d %6d | %9s -> %-8s | %9s -> %-8s | %9s -> %-8s\n", info.name.c_str(),
-                info.paper_states, g.num_states(), info.paper_sis.c_str(), sis_ours.c_str(),
-                info.paper_syn.c_str(), syn_ours.c_str(), info.paper_assassin.c_str(),
-                nshot_ours.c_str());
-  }
+        char line[160];
+        std::snprintf(line, sizeof line, "%-15s %6d %6d | %9s -> %-8s | %9s -> %-8s | %9s -> %-8s\n",
+                      info.name.c_str(), info.paper_states, g.num_states(), info.paper_sis.c_str(),
+                      sis_ours.c_str(), info.paper_syn.c_str(), syn_ours.c_str(),
+                      info.paper_assassin.c_str(), nshot_ours.c_str());
+        return std::string(line);
+      });
+  for (const std::string& row : rows) std::fputs(row.c_str(), stdout);
 
   std::printf(
       "\nShape checks reproduced from the paper's discussion of Table 2:\n"
@@ -93,6 +103,7 @@ void bm_build_sg(benchmark::State& state, const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  nshot::exec::set_default_jobs(nshot::exec::hardware_jobs());
   print_table();
   for (const char* name : {"chu133", "hybridf", "vbe10b", "read-write"}) {
     benchmark::RegisterBenchmark(("synthesize/" + std::string(name)).c_str(),

@@ -16,6 +16,10 @@
 //   --pla            print the minimized cover in PLA format
 //   --regions        print the region analysis per non-input signal
 //   --check N        run N closed-loop conformance simulations (default 8)
+//   --jobs N         worker threads for every sweep (conformance, stress
+//                    battery, adversarial restarts, Monte Carlo); results
+//                    are collected by trial index, so all outputs are
+//                    byte-identical to --jobs 1 (default: NSHOT_JOBS or 1)
 //   --vcd FILE       write one closed-loop simulation trace as VCD
 //   --baselines      also run the SIS-like / SYN-like / complex-gate flows
 //
@@ -42,6 +46,7 @@
 #include "baselines/baselines.hpp"
 #include "bench_suite/benchmarks.hpp"
 #include "csc/csc_solver.hpp"
+#include "exec/thread_pool.hpp"
 #include "faults/stress.hpp"
 #include "logic/pla.hpp"
 #include "netlist/verilog.hpp"
@@ -62,7 +67,7 @@ void usage() {
       "usage: assassin_cli (<file.g|file.sg> | --benchmark NAME | --list)\n"
       "       [--exact] [--no-share] [--solve-csc] [--netlist] [--verilog]\n"
       "       [--dot SIGNAL] [--pla] [--regions] [--check N] [--vcd FILE]\n"
-      "       [--baselines] [--stress] [--stress-runs N] [--stress-factor F]\n"
+      "       [--jobs N] [--baselines] [--stress] [--stress-runs N] [--stress-factor F]\n"
       "       [--stress-out FILE] [--stress-uncomp] [--stress-vcd FILE]\n"
       "       [--stress-deepen N]");
 }
@@ -102,6 +107,8 @@ int main(int argc, char** argv) {
       else if (arg == "--baselines") run_baselines = true;
       else if (arg == "--check" && i + 1 < argc)
         check_runs = parse_int(argv[++i], 0, 1'000'000, "--check");
+      else if (arg == "--jobs" && i + 1 < argc)
+        exec::set_default_jobs(parse_int(argv[++i], 1, 4096, "--jobs"));
       else if (arg == "--vcd" && i + 1 < argc) vcd_file = argv[++i];
       else if (arg == "--stress") stress = true;
       else if (arg == "--stress-runs" && i + 1 < argc)

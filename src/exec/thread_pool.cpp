@@ -1,0 +1,216 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace nshot::exec {
+
+namespace {
+
+std::atomic<int> g_default_jobs{0};  // 0 = unset, fall back to env / 1
+
+int env_jobs() {
+  if (const char* env = std::getenv("NSHOT_JOBS")) {
+    const int value = std::atoi(env);
+    if (value >= 1) return value;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+int default_jobs() {
+  const int set = g_default_jobs.load(std::memory_order_relaxed);
+  return set >= 1 ? set : env_jobs();
+}
+
+void set_default_jobs(int jobs) {
+  g_default_jobs.store(jobs >= 1 ? jobs : 0, std::memory_order_relaxed);
+}
+
+int resolve_jobs(int jobs) { return jobs >= 1 ? jobs : default_jobs(); }
+
+struct ThreadPool::Impl {
+  // One deque per worker; workers pop their own front (LIFO locality) and
+  // steal from a victim's back (FIFO — oldest task first keeps the steal
+  // cheap and fair).  Each deque has its own mutex; the contention unit is
+  // one push/pop, never a task body.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> next_queue{0};
+  std::mutex sleep_mutex;
+  std::condition_variable sleep_cv;
+  bool stop = false;
+
+  explicit Impl(int threads) {
+    const int n = std::max(threads, 1);
+    queues.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      workers.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex);
+      stop = true;
+    }
+    sleep_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  /// Pop from own queue, then steal round the ring.  Returns false when
+  /// every deque is empty at the moment of inspection.
+  bool try_pop(std::size_t self, std::function<void()>& task) {
+    const std::size_t n = queues.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = (self + k) % n;
+      WorkerQueue& q = *queues[victim];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.tasks.empty()) continue;
+      if (victim == self) {
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+      } else {
+        task = std::move(q.tasks.back());
+        q.tasks.pop_back();
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void worker_loop(std::size_t self) {
+    while (true) {
+      std::function<void()> task;
+      if (try_pop(self, task)) {
+        task();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleep_mutex);
+      if (stop) return;
+      // Re-check with the sleep lock held: a submitter publishes the task
+      // before notifying under this same lock, so a wakeup cannot be lost.
+      if (try_pop(self, task)) {
+        lock.unlock();
+        task();
+        continue;
+      }
+      sleep_cv.wait(lock);
+      if (stop) return;
+    }
+  }
+
+  void submit(std::function<void()> task) {
+    const std::size_t target =
+        next_queue.fetch_add(1, std::memory_order_relaxed) % queues.size();
+    {
+      WorkerQueue& q = *queues[target];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      q.tasks.push_back(std::move(task));
+    }
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex);
+    }
+    sleep_cv.notify_one();
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl(threads)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+int ThreadPool::num_threads() const { return static_cast<int>(impl_->workers.size()); }
+
+void ThreadPool::submit(std::function<void()> task) { impl_->submit(std::move(task)); }
+
+ThreadPool& ThreadPool::shared() {
+  // Big enough for the determinism tests' --jobs 8 even on small machines;
+  // the caller thread always participates on top of these workers.
+  static ThreadPool pool(std::max(hardware_jobs() - 1, 8));
+  return pool;
+}
+
+namespace {
+
+/// Shared state of one parallel_for: a self-scheduling index bag.  Runner
+/// tasks and the calling thread all drain it; runners that the pool only
+/// schedules after the loop finished find the bag empty and exit without
+/// touching the (already destroyed) caller frame — everything they need
+/// is owned by this block via shared_ptr.
+struct ForLoop {
+  std::function<void(int)> body;
+  int n = 0;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::pair<int, std::exception_ptr>> errors;  // guarded by mutex
+
+  void run() {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        errors.emplace_back(i, std::current_exception());
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(int n, const std::function<void(int)>& body, int jobs) {
+  if (n <= 0) return;
+  const int workers = std::min(resolve_jobs(jobs), n);
+  if (workers <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto loop = std::make_shared<ForLoop>();
+  loop->body = body;
+  loop->n = n;
+  ThreadPool& pool = ThreadPool::shared();
+  for (int r = 0; r < workers - 1; ++r) pool.submit([loop] { loop->run(); });
+  loop->run();  // the caller is always a participant
+
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->cv.wait(lock, [&] { return loop->done.load(std::memory_order_acquire) == n; });
+  if (!loop->errors.empty()) {
+    // Rethrow the failure a serial sweep would have hit first.
+    auto first = std::min_element(
+        loop->errors.begin(), loop->errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+}  // namespace nshot::exec

@@ -1,0 +1,99 @@
+// Deterministic parallel execution engine for the repository's sweeps.
+//
+// Every sweep in this codebase — Monte Carlo conformance trials, the fault
+// battery, adversarial-search restarts, per-output exact minimization —
+// is a bag of independent work items that are each reproducible from their
+// index alone (trial r of base seed s depends only on run_seed(s, r); see
+// util/rng.hpp).  This module exploits that: a work-stealing thread pool
+// executes the items in whatever order the hardware likes, while the
+// combinators below collect results BY INDEX, so the merged output is
+// byte-identical to a serial run regardless of the worker count.
+//
+// Contract every caller relies on:
+//  * parallel_for(n, body) calls body(i) exactly once for every i in
+//    [0, n); the calling thread participates, so progress never depends on
+//    pool workers being available (nested parallel sections cannot
+//    deadlock — an inner section simply degrades toward serial when the
+//    pool is saturated).
+//  * parallel_map / parallel_reduce return results ordered (folded) by
+//    index — determinism lives here, not in execution order.
+//  * jobs <= 1 (or n <= 1) short-circuits to a plain serial loop on the
+//    calling thread: no pool is created, no synchronization runs, and the
+//    result is the reference output the parallel paths are tested against.
+//  * If bodies throw, every item still runs; the exception for the LOWEST
+//    index is rethrown after the loop (matching which failure a serial
+//    sweep surfaces first).
+#pragma once
+
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace nshot::exec {
+
+/// Number of hardware threads, at least 1.
+int hardware_jobs();
+
+/// Process-wide default worker count used when a `jobs` option is 0:
+/// the last set_default_jobs() value, else the NSHOT_JOBS environment
+/// variable, else 1 (serial — the library never goes parallel unless a
+/// caller opts in, so seed-era entry points keep their exact behaviour).
+int default_jobs();
+void set_default_jobs(int jobs);
+
+/// Resolve a per-call `jobs` option: values >= 1 are taken as-is, 0 maps
+/// to default_jobs().
+int resolve_jobs(int jobs);
+
+/// Work-stealing thread pool.  Each worker owns a deque; submission
+/// round-robins across the deques and idle workers steal from the back of
+/// their peers', so an uneven bag of trials (one slow oscillating run,
+/// many fast ones) still load-balances.  Tasks must not block on other
+/// tasks; the parallel_for combinator obeys this by making the caller a
+/// full participant.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const;
+  void submit(std::function<void()> task);
+
+  /// The process-wide pool backing parallel_for.  Created on first
+  /// parallel use; serial call sites never touch it.
+  static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Run body(0) ... body(n-1), each exactly once, using up to `jobs`
+/// threads (0 = default_jobs()).  Blocks until all items completed.
+void parallel_for(int n, const std::function<void(int)>& body, int jobs = 0);
+
+/// Map i -> fn(i) into a vector ordered by index.  T must be default
+/// constructible and movable.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(int n, Fn&& fn, int jobs = 0) {
+  std::vector<T> results(static_cast<std::size_t>(n > 0 ? n : 0));
+  parallel_for(
+      n, [&](int i) { results[static_cast<std::size_t>(i)] = fn(i); }, jobs);
+  return results;
+}
+
+/// Left fold of fn(0) ... fn(n-1) into `init` IN INDEX ORDER — the
+/// reduction a serial loop would compute, whatever order the map ran in.
+template <typename T, typename U, typename Fn, typename Combine>
+T parallel_reduce(int n, T init, Fn&& fn, Combine&& combine, int jobs = 0) {
+  std::vector<U> mapped = parallel_map<U>(n, std::forward<Fn>(fn), jobs);
+  T acc = std::move(init);
+  for (U& item : mapped) acc = combine(std::move(acc), std::move(item));
+  return acc;
+}
+
+}  // namespace nshot::exec

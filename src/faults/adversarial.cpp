@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/thread_pool.hpp"
 #include "sim/delay_space.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -71,57 +72,101 @@ Evaluation evaluate(const sg::StateGraph& spec, const netlist::Netlist& circuit,
 
 }  // namespace
 
+namespace {
+
+/// The best point one hill-climb restart found, plus its cost.  Restarts
+/// are fully independent — each derives its environment stream and climb
+/// RNG from (seed, restart) alone — so they can run on any thread.
+struct RestartOutcome {
+  double best_score = kNoMargin;
+  double best_slack = kNoMargin;
+  std::vector<double> delays;
+  std::uint64_t env_seed = 0;
+  sim::ConformanceReport report;
+  bool violation_found = false;
+  long evaluations = 0;
+};
+
+RestartOutcome climb_restart(const sg::StateGraph& spec, const netlist::Netlist& circuit,
+                             const SearchSpace& box, const sim::DelaySpace& space,
+                             const AdversarialOptions& options, int restart) {
+  // One environment stream per restart keeps the objective deterministic
+  // in the delay vector, so accepted steps are genuine descents.
+  const std::uint64_t env_seed = run_seed(options.seed, restart);
+  Rng rng(env_seed ^ 0xadce5a17ULL);
+
+  RestartOutcome out;
+  out.env_seed = env_seed;
+
+  std::vector<double> current = sample_uniform(box, space, rng);
+  Evaluation eval = evaluate(spec, circuit, current, env_seed, options.run);
+  ++out.evaluations;
+  double current_score = eval.score;
+  auto take_best = [&](const std::vector<double>& delays, const Evaluation& e) {
+    if (e.score < out.best_score || out.delays.empty()) {
+      out.best_score = e.score;
+      out.best_slack = e.run.min_slack;
+      out.delays = delays;
+      out.report = e.run.report;
+      out.violation_found = !e.run.report.violations.empty();
+    }
+  };
+  take_best(current, eval);
+
+  for (int it = 0; it < options.iterations && !out.violation_found; ++it) {
+    if (box.movable.empty()) break;
+    std::vector<double> candidate = current;
+    const netlist::GateId g = box.movable[rng.next_below(box.movable.size())];
+    const std::size_t i = static_cast<std::size_t>(g);
+    if (rng.next_bool(0.6)) {
+      // Corner snap: extreme delays expose the cliffs far more often
+      // than interior points do.
+      candidate[i] = rng.next_bool() ? box.hi[i] : box.lo[i];
+    } else if (box.lo[i] < box.hi[i]) {
+      candidate[i] = rng.next_double(box.lo[i], box.hi[i]);
+    }
+    Evaluation step = evaluate(spec, circuit, candidate, env_seed, options.run);
+    ++out.evaluations;
+    if (step.score <= current_score) {  // accept sideways moves too
+      current = std::move(candidate);
+      current_score = step.score;
+      take_best(current, step);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 AdversarialResult adversarial_delay_search(const sg::StateGraph& spec,
                                            const netlist::Netlist& circuit,
                                            const AdversarialOptions& options) {
   const sim::DelaySpace space(circuit, gatelib::GateLibrary::standard());
   const SearchSpace box = make_space(circuit, space, options);
 
+  std::vector<RestartOutcome> restarts = exec::parallel_map<RestartOutcome>(
+      options.restarts,
+      [&](int r) { return climb_restart(spec, circuit, box, space, options, r); },
+      options.jobs);
+
+  // Merge in restart order, reproducing the serial sweep exactly: a strict
+  // improvement replaces the incumbent (first restart wins ties) and
+  // restarts after the first violating one are discarded — the serial loop
+  // would never have run them, so neither their best point nor their
+  // evaluation count may leak into the result.
   AdversarialResult result;
   double best_score = kNoMargin;
-  for (int r = 0; r < options.restarts && !result.violation_found; ++r) {
-    // One environment stream per restart keeps the objective deterministic
-    // in the delay vector, so accepted steps are genuine descents.
-    const std::uint64_t env_seed = run_seed(options.seed, r);
-    Rng rng(env_seed ^ 0xadce5a17ULL);
-
-    std::vector<double> current = sample_uniform(box, space, rng);
-    Evaluation eval = evaluate(spec, circuit, current, env_seed, options.run);
-    ++result.evaluations;
-    double current_score = eval.score;
-    auto take_best = [&](const std::vector<double>& delays, const Evaluation& e) {
-      if (e.score < best_score || result.delays.empty()) {
-        best_score = e.score;
-        result.best_slack = e.run.min_slack;
-        result.delays = delays;
-        result.env_seed = env_seed;
-        result.report = e.run.report;
-        result.violation_found = !e.run.report.violations.empty();
-      }
-    };
-    take_best(current, eval);
-
-    for (int it = 0; it < options.iterations && !result.violation_found; ++it) {
-      if (box.movable.empty()) break;
-      std::vector<double> candidate = current;
-      const netlist::GateId g =
-          box.movable[rng.next_below(box.movable.size())];
-      const std::size_t i = static_cast<std::size_t>(g);
-      if (rng.next_bool(0.6)) {
-        // Corner snap: extreme delays expose the cliffs far more often
-        // than interior points do.
-        candidate[i] = rng.next_bool() ? box.hi[i] : box.lo[i];
-      } else if (box.lo[i] < box.hi[i]) {
-        candidate[i] = rng.next_double(box.lo[i], box.hi[i]);
-      }
-      Evaluation step = evaluate(spec, circuit, candidate, env_seed, options.run);
-      ++result.evaluations;
-      if (step.score <= current_score) {  // accept sideways moves too
-        current = std::move(candidate);
-        current_score = step.score;
-        take_best(current, step);
-      }
+  for (RestartOutcome& out : restarts) {
+    result.evaluations += out.evaluations;
+    if (out.best_score < best_score || result.delays.empty()) {
+      best_score = out.best_score;
+      result.best_slack = out.best_slack;
+      result.delays = std::move(out.delays);
+      result.env_seed = out.env_seed;
+      result.report = std::move(out.report);
+      result.violation_found = out.violation_found;
     }
+    if (result.violation_found) break;
   }
   return result;
 }
@@ -132,15 +177,26 @@ MonteCarloResult stressed_monte_carlo(const sg::StateGraph& spec,
   const sim::DelaySpace space(circuit, gatelib::GateLibrary::standard());
   const SearchSpace box = make_space(circuit, space, options);
 
+  struct Trial {
+    bool violated = false;
+    double min_slack = kNoMargin;
+  };
+  const std::vector<Trial> trials = exec::parallel_map<Trial>(
+      runs,
+      [&](int r) {
+        const std::uint64_t seed = run_seed(options.seed, r);
+        Rng rng(seed);
+        const Evaluation eval =
+            evaluate(spec, circuit, sample_uniform(box, space, rng), seed, options.run);
+        return Trial{!eval.run.report.violations.empty(), eval.run.min_slack};
+      },
+      options.jobs);
+
   MonteCarloResult result;
   result.runs = runs;
-  for (int r = 0; r < runs; ++r) {
-    const std::uint64_t seed = run_seed(options.seed, r);
-    Rng rng(seed);
-    const Evaluation eval =
-        evaluate(spec, circuit, sample_uniform(box, space, rng), seed, options.run);
-    if (!eval.run.report.violations.empty()) ++result.violating_runs;
-    result.min_slack = std::min(result.min_slack, eval.run.min_slack);
+  for (const Trial& trial : trials) {
+    if (trial.violated) ++result.violating_runs;
+    result.min_slack = std::min(result.min_slack, trial.min_slack);
   }
   return result;
 }

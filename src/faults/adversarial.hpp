@@ -27,6 +27,12 @@ struct AdversarialOptions {
   int iterations = 250;        // accepted-or-rejected proposals per restart
   double stress_factor = 1.0;  // ≥ 1; stretches the library interval
   bool shave_delay_lines = false;
+  /// Worker threads (0 = exec::default_jobs()).  Restarts run on
+  /// independent (seed, restart) streams and merge in restart order —
+  /// including the serial early-exit rule (restarts after the first
+  /// violating one are discarded) — so the result is identical for every
+  /// jobs value.  Monte Carlo baseline runs parallelize the same way.
+  int jobs = 0;
   ScenarioOptions run;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/thread_pool.hpp"
 #include "sim/delay_space.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -49,11 +50,17 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
   }
 
   // Phase 1: margin measurement over independent delay samples of the
-  // UNFAULTED circuit.
-  for (int r = 0; r < options.margin_runs; ++r) {
-    FaultScenario scenario;
-    scenario.seed = run_seed(options.seed, r);
-    const ProbedRun run = run_probed(spec, circuit, scenario, options.run);
+  // UNFAULTED circuit.  Each probed run depends only on run_seed(seed, r);
+  // runs execute in parallel and merge in run order.
+  const std::vector<ProbedRun> probed = exec::parallel_map<ProbedRun>(
+      options.margin_runs,
+      [&](int r) {
+        FaultScenario scenario;
+        scenario.seed = run_seed(options.seed, r);
+        return run_probed(spec, circuit, scenario, options.run);
+      },
+      options.jobs);
+  for (const ProbedRun& run : probed) {
     if (!run.report.clean()) report.baseline_clean = false;
     for (int k = 0; k < cells.num_cells(); ++k)
       report.signals[static_cast<std::size_t>(signal_of_cell[static_cast<std::size_t>(k)])]
@@ -69,27 +76,15 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
     report.min_eq1_slack = std::min(report.min_eq1_slack, margins.min_eq1_slack);
   }
 
-  // Phase 2: deterministic fault battery per cell.
+  // Phase 2: deterministic fault battery per cell.  The battery is first
+  // enumerated into an ordered job list, then the (independent) scenarios
+  // run in parallel; outcomes merge back in enumeration order.
   const sim::DelaySpace space(circuit, lib);
-  auto run_fault = [&](int cell, const Fault& fault) {
-    FaultOutcome outcome;
-    outcome.fault = fault;
-    outcome.signal = cells.cell_signal(cell);
-    outcome.description = describe_fault(fault, circuit);
-    FaultScenario scenario;
-    scenario.seed = options.seed;
-    scenario.faults.push_back(fault);
-    const sim::ConformanceReport run = run_scenario(spec, circuit, scenario, options.run);
-    outcome.survived = run.clean();
-    if (!run.violations.empty())
-      outcome.violation = std::string(sim::violation_kind_name(run.violations.front().kind)) +
-                          ": " + run.violations.front().description;
-    SignalMargins& margins =
-        report.signals[static_cast<std::size_t>(signal_of_cell[static_cast<std::size_t>(cell)])];
-    (outcome.survived ? margins.faults_survived : margins.faults_failed) += 1;
-    report.outcomes.push_back(std::move(outcome));
+  struct BatteryEntry {
+    int cell = 0;
+    Fault fault;
   };
-
+  std::vector<BatteryEntry> battery;
   for (int k = 0; k < cells.num_cells(); ++k) {
     const Gate& mhs = circuit.gate(cells.cell_gate(k));
     // Stuck-at faults on all four input rails (set, reset, enable_set,
@@ -100,7 +95,7 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
         fault.kind = FaultKind::kStuckAt;
         fault.net = mhs.inputs[static_cast<std::size_t>(pin)];
         fault.value = value;
-        run_fault(k, fault);
+        battery.push_back({k, fault});
       }
     }
     // Glitch pulses around the ω threshold on the SOP nets.
@@ -112,7 +107,7 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
         fault.value = true;
         fault.time = options.glitch_time;
         fault.width = rel * omega;
-        run_fault(k, fault);
+        battery.push_back({k, fault});
       }
     }
     // Slow-outlier delay on each SOP driver gate.
@@ -124,9 +119,36 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
         fault.kind = FaultKind::kDelayOutlier;
         fault.gate = *driver;
         fault.delay = space.hi(*driver) * options.outlier_factor;
-        run_fault(k, fault);
+        battery.push_back({k, fault});
       }
     }
+  }
+
+  std::vector<FaultOutcome> outcomes = exec::parallel_map<FaultOutcome>(
+      static_cast<int>(battery.size()),
+      [&](int j) {
+        const BatteryEntry& entry = battery[static_cast<std::size_t>(j)];
+        FaultOutcome outcome;
+        outcome.fault = entry.fault;
+        outcome.signal = cells.cell_signal(entry.cell);
+        outcome.description = describe_fault(entry.fault, circuit);
+        FaultScenario scenario;
+        scenario.seed = options.seed;
+        scenario.faults.push_back(entry.fault);
+        const sim::ConformanceReport run = run_scenario(spec, circuit, scenario, options.run);
+        outcome.survived = run.clean();
+        if (!run.violations.empty())
+          outcome.violation =
+              std::string(sim::violation_kind_name(run.violations.front().kind)) + ": " +
+              run.violations.front().description;
+        return outcome;
+      },
+      options.jobs);
+  for (std::size_t j = 0; j < outcomes.size(); ++j) {
+    SignalMargins& margins = report.signals[static_cast<std::size_t>(
+        signal_of_cell[static_cast<std::size_t>(battery[j].cell)])];
+    (outcomes[j].survived ? margins.faults_survived : margins.faults_failed) += 1;
+    report.outcomes.push_back(std::move(outcomes[j]));
   }
 
   // Phase 3: adversarial delay-stress search.

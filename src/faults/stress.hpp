@@ -21,6 +21,12 @@ namespace nshot::faults {
 
 struct StressOptions {
   std::uint64_t seed = 1;
+  /// Worker threads for the margin sweep and the fault battery (0 =
+  /// exec::default_jobs()).  Runs and battery entries are independent and
+  /// merged in their deterministic enumeration order, so the report (and
+  /// its JSON) is byte-identical for every jobs value.  The nested
+  /// adversarial search parallelizes through its own `adversarial.jobs`.
+  int jobs = 0;
   /// Probed runs feeding the margin report (distinct delay samples).
   int margin_runs = 5;
   /// Glitch widths to inject, as multiples of the threshold ω.

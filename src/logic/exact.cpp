@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "exec/thread_pool.hpp"
 #include "logic/espresso.hpp"
 #include "util/error.hpp"
 
@@ -213,24 +214,35 @@ Cover exact_minimize(const TwoLevelSpec& spec, const ExactOptions& options) {
   normalized.normalize();
   normalized.validate();
 
+  // Each output is an independent prime-generation + covering problem;
+  // solve them in parallel and concatenate the per-output covers in
+  // output order (exactly what the serial loop produced).
+  const std::vector<std::vector<Cube>> per_output = exec::parallel_map<std::vector<Cube>>(
+      normalized.num_outputs(),
+      [&](int o) {
+        std::vector<Cube> cubes;
+        if (normalized.on(o).empty()) return cubes;
+        const auto exact = exact_minimize_output(normalized, o, options);
+        if (exact) {
+          for (const Cube& c : *exact) cubes.push_back(c);
+          return cubes;
+        }
+        // Fallback: heuristic minimization of this output alone.
+        TwoLevelSpec single(normalized.num_inputs(), 1);
+        for (const std::uint64_t code : normalized.on(o)) single.add_on(0, code);
+        for (const std::uint64_t code : normalized.off(o)) single.add_off(0, code);
+        const Cover heuristic = espresso(single);
+        for (Cube c : heuristic) {
+          c.set_outputs(1ULL << o);
+          cubes.push_back(c);
+        }
+        return cubes;
+      },
+      options.jobs);
+
   Cover result(normalized.num_inputs(), normalized.num_outputs());
-  for (int o = 0; o < normalized.num_outputs(); ++o) {
-    if (normalized.on(o).empty()) continue;
-    const auto exact = exact_minimize_output(normalized, o, options);
-    if (exact) {
-      for (const Cube& c : *exact) result.add(c);
-      continue;
-    }
-    // Fallback: heuristic minimization of this output alone.
-    TwoLevelSpec single(normalized.num_inputs(), 1);
-    for (const std::uint64_t code : normalized.on(o)) single.add_on(0, code);
-    for (const std::uint64_t code : normalized.off(o)) single.add_off(0, code);
-    const Cover heuristic = espresso(single);
-    for (Cube c : heuristic) {
-      c.set_outputs(1ULL << o);
-      result.add(c);
-    }
-  }
+  for (const std::vector<Cube>& cubes : per_output)
+    for (const Cube& c : cubes) result.add(c);
   return result;
 }
 

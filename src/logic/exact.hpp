@@ -21,6 +21,11 @@ struct ExactOptions {
   std::size_t max_primes = 20000;
   /// Abort the covering search after this many branch-and-bound nodes.
   std::size_t max_nodes = 200000;
+  /// Worker threads for exact_minimize's per-output loop (0 =
+  /// exec::default_jobs()).  Outputs are independent covering problems;
+  /// results concatenate in output order, so the cover is identical for
+  /// every jobs value.
+  int jobs = 0;
 };
 
 /// All prime implicants of output `o` of `spec` (maximal cubes disjoint

@@ -2,12 +2,51 @@
 
 #include <sstream>
 
+#include "exec/memo_cache.hpp"
+#include "exec/thread_pool.hpp"
 #include "gatelib/gate_library.hpp"
 #include "logic/exact.hpp"
 #include "logic/verify.hpp"
 #include "sg/properties.hpp"
 
 namespace nshot::core {
+
+namespace {
+
+/// Canonical cache key of a minimization subproblem: the full (F, D, R)
+/// spec (derive_spec normalizes the minterm lists, so equal subproblems
+/// serialize equally) plus every knob that changes the minimizer's output.
+std::string minimization_key(const logic::TwoLevelSpec& spec, const SynthesisOptions& options) {
+  std::ostringstream key;
+  key << (options.exact ? "exact" : "heur") << '/' << options.share_products << '/'
+      << options.espresso.max_iterations << '/' << options.espresso.share_outputs << ';'
+      << spec.num_inputs() << 'x' << spec.num_outputs();
+  for (int o = 0; o < spec.num_outputs(); ++o) {
+    key << "|F";
+    for (const std::uint64_t code : spec.on(o)) key << ' ' << code;
+    key << "|R";
+    for (const std::uint64_t code : spec.off(o)) key << ' ' << code;
+  }
+  return key.str();
+}
+
+logic::Cover minimize_spec(const logic::TwoLevelSpec& spec, const SynthesisOptions& options) {
+  logic::EspressoOptions espresso_options = options.espresso;
+  espresso_options.share_outputs = options.share_products;
+  logic::ExactOptions exact_options;
+  exact_options.jobs = options.jobs;
+  return options.exact ? logic::exact_minimize(spec, exact_options)
+                       : logic::espresso(spec, espresso_options);
+}
+
+logic::Cover minimize_cached(const logic::TwoLevelSpec& spec, const SynthesisOptions& options) {
+  if (!options.memoize_minimization) return minimize_spec(spec, options);
+  static exec::MemoCache<logic::Cover> cache;
+  return cache.get_or_compute(minimization_key(spec, options),
+                              [&] { return minimize_spec(spec, options); });
+}
+
+}  // namespace
 
 SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& options) {
   // 1. Theorem 2 preconditions.
@@ -20,10 +59,9 @@ SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& opt
   DerivedSpec derived = derive_spec(sg);
 
   // 3. Conventional two-level minimization — no hazard constraints at all.
-  logic::EspressoOptions espresso_options = options.espresso;
-  espresso_options.share_outputs = options.share_products;
-  logic::Cover cover = options.exact ? logic::exact_minimize(derived.spec)
-                                     : logic::espresso(derived.spec, espresso_options);
+  // Memoized across synthesize() calls: the subproblem is a pure function
+  // of the (F, D, R) spec and the minimizer knobs.
+  logic::Cover cover = minimize_cached(derived.spec, options);
 
   // 4. Independent oracle.
   const logic::VerifyResult verified = logic::verify_cover(derived.spec, cover);
@@ -39,23 +77,27 @@ SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& opt
     throw SynthesisError(message);
   }
 
-  // 6. Delay requirement (Eq. 1) per signal.
+  // 6. Delay requirement (Eq. 1) per signal.  Signals are independent
+  // after the (F, D, R) derivation: each analysis reads only the shared
+  // immutable cover and SG, so they run in parallel and land in signal
+  // order.
   const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
+  std::vector<SignalImplementation> signals = exec::parallel_map<SignalImplementation>(
+      static_cast<int>(derived.outputs.size()),
+      [&](int i) {
+        const OutputIndex& index = derived.outputs[static_cast<std::size_t>(i)];
+        SignalImplementation impl;
+        impl.signal = index.signal;
+        impl.set_cubes = cover.cube_count_for_output(index.set_output);
+        impl.reset_cubes = cover.cube_count_for_output(index.reset_output);
+        impl.delay = compute_delay_requirement(sop_levels(cover, index.set_output, lib),
+                                               sop_levels(cover, index.reset_output, lib), lib);
+        impl.init = analyze_initialization(sg, index.signal, cover, index);
+        return impl;
+      },
+      options.jobs);
   std::vector<DelayRequirement> delays;
-  std::vector<SignalImplementation> signals;
-  for (const OutputIndex& index : derived.outputs) {
-    DelayRequirement req = compute_delay_requirement(sop_levels(cover, index.set_output, lib),
-                                                     sop_levels(cover, index.reset_output, lib),
-                                                     lib);
-    SignalImplementation impl;
-    impl.signal = index.signal;
-    impl.set_cubes = cover.cube_count_for_output(index.set_output);
-    impl.reset_cubes = cover.cube_count_for_output(index.reset_output);
-    impl.delay = req;
-    impl.init = analyze_initialization(sg, index.signal, cover, index);
-    delays.push_back(req);
-    signals.push_back(impl);
-  }
+  for (const SignalImplementation& impl : signals) delays.push_back(impl.delay);
 
   // 7. Architecture mapping.
   ArchitectureOptions arch;

@@ -42,6 +42,18 @@ struct SynthesisOptions {
   bool share_products = true;
   /// Insert delay compensation lines when Eq. 1 requires them.
   bool insert_delay_lines = true;
+  /// Worker threads for per-signal work — per-output exact minimization
+  /// and the Eq. 1 / initialization analyses, which are independent across
+  /// signals once the joint (F, D, R) spec is derived (0 =
+  /// exec::default_jobs()).  Results merge in signal order, so the
+  /// synthesized netlist is identical for every jobs value.
+  int jobs = 0;
+  /// Reuse minimization results across synthesize() calls through a
+  /// process-wide cross-thread cache keyed on the serialized (F, D, R)
+  /// spec and minimizer knobs.  Identical subproblems (ablation benches,
+  /// repeated benchmark sweeps) are then solved once.  The cached cover is
+  /// the deterministic minimizer output, so this never changes results.
+  bool memoize_minimization = true;
   logic::EspressoOptions espresso;
 };
 

@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "exec/thread_pool.hpp"
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -218,22 +219,43 @@ ConformanceReport run_closed_loop(const sg::StateGraph& spec, const netlist::Net
   return report;
 }
 
+/// Fold one trial's report into the sweep total.  Trials are merged in run
+/// order, so a parallel sweep reproduces the serial report byte for byte.
+static void merge_run(ConformanceReport& total, const ConformanceReport& run) {
+  total.external_transitions += run.external_transitions;
+  total.internal_toggles += run.internal_toggles;
+  total.absorbed_pulses += run.absorbed_pulses;
+  total.simulated_time += run.simulated_time;
+  total.deadlocks += run.deadlocks;
+  total.budget_exhausted += run.budget_exhausted;
+  total.violations.insert(total.violations.end(), run.violations.begin(),
+                          run.violations.end());
+}
+
 ConformanceReport check_conformance(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                                     const ConformanceOptions& options) {
+  // Every trial is a pure function of run_seed(options.seed, r), so the
+  // sweep is an order-independent bag of work; only the merge is ordered.
+  const std::vector<ConformanceReport> trials = exec::parallel_map<ConformanceReport>(
+      options.runs,
+      [&](int r) {
+        ClosedLoopConfig config;
+        config.sim.seed = run_seed(options.seed, r);
+        config.sim.randomize_delays = true;
+        config.sim.max_events = options.max_events;
+        config.max_transitions = options.max_transitions;
+        config.input_delay_min = options.input_delay_min;
+        config.input_delay_max = options.input_delay_max;
+        config.time_limit = options.time_limit;
+        config.fundamental_mode = options.fundamental_mode;
+        ConformanceReport trial;
+        run_once(spec, circuit, config, trial);
+        return trial;
+      },
+      options.jobs);
   ConformanceReport report;
   report.runs = options.runs;
-  for (int r = 0; r < options.runs; ++r) {
-    ClosedLoopConfig config;
-    config.sim.seed = run_seed(options.seed, r);
-    config.sim.randomize_delays = true;
-    config.sim.max_events = options.max_events;
-    config.max_transitions = options.max_transitions;
-    config.input_delay_min = options.input_delay_min;
-    config.input_delay_max = options.input_delay_max;
-    config.time_limit = options.time_limit;
-    config.fundamental_mode = options.fundamental_mode;
-    run_once(spec, circuit, config, report);
-  }
+  for (const ConformanceReport& trial : trials) merge_run(report, trial);
   return report;
 }
 

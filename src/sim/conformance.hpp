@@ -28,6 +28,10 @@ class VcdRecorder;
 struct ConformanceOptions {
   std::uint64_t seed = 1;
   int runs = 20;                 // independent delay samples
+  /// Worker threads for the seed sweep (0 = exec::default_jobs()).  Each
+  /// trial is reproducible from (seed, run) alone and results are merged
+  /// in run order, so the report is byte-identical for every jobs value.
+  int jobs = 0;
   int max_transitions = 200;     // observable transitions per run
   double input_delay_min = 0.1;  // environment reaction interval
   double input_delay_max = 12.0;

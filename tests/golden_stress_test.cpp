@@ -1,0 +1,70 @@
+// Golden-file test for the stress-campaign JSON: the full report —
+// margins, fault battery, adversarial search — on two fixed benchmarks is
+// pinned byte-for-byte.  Any change to seed derivation, merge order,
+// battery enumeration or JSON rendering shows up here as a diff, which is
+// exactly the surface the parallel engine must not move.
+//
+// Regenerate after an INTENDED change with:
+//   NSHOT_UPDATE_GOLDEN=1 ./golden_stress_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "faults/stress.hpp"
+#include "nshot/synthesis.hpp"
+
+namespace nshot {
+namespace {
+
+faults::StressOptions golden_options() {
+  faults::StressOptions options;
+  options.seed = 424242;
+  options.margin_runs = 4;
+  options.run.max_transitions = 80;
+  options.adversarial.restarts = 2;
+  options.adversarial.iterations = 25;
+  options.adversarial.run.max_transitions = 80;
+  return options;
+}
+
+std::string render_report(const std::string& name, int jobs) {
+  const sg::StateGraph g = bench_suite::build_benchmark(name);
+  const core::SynthesisResult result = core::synthesize(g);
+  faults::StressOptions options = golden_options();
+  options.jobs = jobs;
+  options.adversarial.jobs = jobs;
+  return faults::stress_report_json(faults::run_stress(g, result.circuit, name, options));
+}
+
+void compare_with_golden(const std::string& name) {
+  const std::string path = std::string(NSHOT_GOLDEN_DIR) + "/stress_" + name + ".json";
+  const std::string actual = render_report(name, /*jobs=*/1);
+
+  if (std::getenv("NSHOT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream(path) << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with NSHOT_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "stress JSON for " << name
+      << " diverged from the golden file; if intended, regenerate with NSHOT_UPDATE_GOLDEN=1";
+
+  // The parallel campaign must hit the same bytes.
+  EXPECT_EQ(render_report(name, /*jobs=*/8), actual) << name << " diverges at jobs=8";
+}
+
+TEST(GoldenStressTest, Chu133) { compare_with_golden("chu133"); }
+
+TEST(GoldenStressTest, Converta) { compare_with_golden("converta"); }
+
+}  // namespace
+}  // namespace nshot

@@ -50,21 +50,21 @@ struct CaseTiming {
   bool identical = false;
 };
 
-CaseTiming measure(const std::string& name, int parallel_jobs) {
+CaseTiming measure(const std::string& name, int parallel_jobs, bool smoke) {
   const sg::StateGraph g = bench_suite::build_benchmark(name);
   const core::SynthesisResult result = core::synthesize(g);
 
   sim::ConformanceOptions conf;
   conf.seed = 7;
-  conf.runs = 96;
+  conf.runs = smoke ? 8 : 96;
   conf.max_transitions = 150;
 
   faults::StressOptions stress;
   stress.seed = 2026;
-  stress.margin_runs = 8;
+  stress.margin_runs = smoke ? 2 : 8;
   stress.run.max_transitions = 100;
-  stress.adversarial.restarts = 4;
-  stress.adversarial.iterations = 40;
+  stress.adversarial.restarts = smoke ? 1 : 4;
+  stress.adversarial.iterations = smoke ? 5 : 40;
   stress.adversarial.run.max_transitions = 100;
 
   CaseTiming timing;
@@ -103,16 +103,23 @@ CaseTiming measure(const std::string& name, int parallel_jobs) {
 int main(int argc, char** argv) {
   const int hardware = exec::hardware_jobs();
   const int parallel_jobs = 8;  // fixed so the determinism claim is portable
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  bool smoke = false;
+  const char* out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      out_path = argv[i];
+  }
 
-  std::printf("Parallel engine bench: jobs=1 vs jobs=%d (hardware threads: %d)\n\n",
-              parallel_jobs, hardware);
+  std::printf("Parallel engine bench: jobs=1 vs jobs=%d (hardware threads: %d)%s\n\n",
+              parallel_jobs, hardware, smoke ? " (smoke)" : "");
   std::printf("%-12s %12s %12s %8s %12s %12s %8s %6s\n", "circuit", "conf j1", "conf jN", "x",
               "stress j1", "stress jN", "x", "same");
 
   std::vector<CaseTiming> timings;
   for (const char* name : {"chu133", "converta", "vbe5b", "read-write"}) {
-    const CaseTiming t = measure(name, parallel_jobs);
+    const CaseTiming t = measure(name, parallel_jobs, smoke);
     NSHOT_REQUIRE(t.identical, "parallel report diverged from serial on " + t.name);
     std::printf("%-12s %10.1fms %10.1fms %7.2fx %10.1fms %10.1fms %7.2fx %6s\n", t.name.c_str(),
                 t.conf_serial_ms, t.conf_parallel_ms, t.conf_serial_ms / t.conf_parallel_ms,
@@ -132,6 +139,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n  \"hardware_jobs\": " << hardware << ",\n  \"parallel_jobs\": " << parallel_jobs
+       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
        << ",\n  \"byte_identical\": true,\n  \"total_speedup\": " << speedup
        << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {

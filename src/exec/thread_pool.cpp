@@ -153,14 +153,16 @@ ThreadPool& ThreadPool::shared() {
 
 namespace {
 
-/// Shared state of one parallel_for: a self-scheduling index bag.  Runner
-/// tasks and the calling thread all drain it; runners that the pool only
-/// schedules after the loop finished find the bag empty and exit without
-/// touching the (already destroyed) caller frame — everything they need
-/// is owned by this block via shared_ptr.
+/// Shared state of one parallel_for_chunks: a self-scheduling bag of
+/// chunk indices.  Runner tasks and the calling thread all drain it;
+/// runners that the pool only schedules after the loop finished find the
+/// bag empty and exit without touching the (already destroyed) caller
+/// frame — everything they need is owned by this block via shared_ptr.
 struct ForLoop {
-  std::function<void(int)> body;
+  std::function<void(int, int)> chunk;
   int n = 0;
+  int grain = 1;
+  int num_chunks = 0;
   std::atomic<int> next{0};
   std::atomic<int> done{0};
   std::mutex mutex;
@@ -169,15 +171,17 @@ struct ForLoop {
 
   void run() {
     while (true) {
-      const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      const int c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const int begin = c * grain;
+      const int end = std::min(begin + grain, n);
       try {
-        body(i);
+        chunk(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
-        errors.emplace_back(i, std::current_exception());
+        errors.emplace_back(begin, std::current_exception());
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
         std::lock_guard<std::mutex> lock(mutex);
         cv.notify_all();
       }
@@ -185,9 +189,48 @@ struct ForLoop {
   }
 };
 
+/// `grain` <= 0 aims for a few chunks per worker — enough slack for the
+/// work-stealing to balance an uneven bag without paying per-item
+/// scheduling.
+int resolve_grain(int grain, int n, int workers) {
+  if (grain >= 1) return grain;
+  return std::max(1, n / (workers * 4));
+}
+
 }  // namespace
 
-void parallel_for(int n, const std::function<void(int)>& body, int jobs) {
+void parallel_for_chunks(int n, int grain, const std::function<void(int, int)>& chunk,
+                         int jobs) {
+  if (n <= 0) return;
+  const int workers = std::min(resolve_jobs(jobs), n);
+  if (workers <= 1 || n == 1) {
+    chunk(0, n);  // one chunk: maximal scratch reuse, immediate propagation
+    return;
+  }
+
+  auto loop = std::make_shared<ForLoop>();
+  loop->chunk = chunk;
+  loop->n = n;
+  loop->grain = resolve_grain(grain, n, workers);
+  loop->num_chunks = (n + loop->grain - 1) / loop->grain;
+  ThreadPool& pool = ThreadPool::shared();
+  const int runners = std::min(workers - 1, loop->num_chunks - 1);
+  for (int r = 0; r < runners; ++r) pool.submit([loop] { loop->run(); });
+  loop->run();  // the caller is always a participant
+
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->cv.wait(lock,
+                [&] { return loop->done.load(std::memory_order_acquire) == loop->num_chunks; });
+  if (!loop->errors.empty()) {
+    // Rethrow the failure a serial sweep would have hit first.
+    auto first = std::min_element(
+        loop->errors.begin(), loop->errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+void parallel_for(int n, const std::function<void(int)>& body, int jobs, int grain) {
   if (n <= 0) return;
   const int workers = std::min(resolve_jobs(jobs), n);
   if (workers <= 1 || n == 1) {
@@ -195,19 +238,27 @@ void parallel_for(int n, const std::function<void(int)>& body, int jobs) {
     return;
   }
 
-  auto loop = std::make_shared<ForLoop>();
-  loop->body = body;
-  loop->n = n;
-  ThreadPool& pool = ThreadPool::shared();
-  for (int r = 0; r < workers - 1; ++r) pool.submit([loop] { loop->run(); });
-  loop->run();  // the caller is always a participant
-
-  std::unique_lock<std::mutex> lock(loop->mutex);
-  loop->cv.wait(lock, [&] { return loop->done.load(std::memory_order_acquire) == n; });
-  if (!loop->errors.empty()) {
-    // Rethrow the failure a serial sweep would have hit first.
+  // Per-item try/catch inside the chunk keeps the parallel_for contract:
+  // every item runs even when an earlier item of the same chunk threw, and
+  // the rethrown exception is the lowest ITEM index, not chunk index.
+  std::mutex mutex;
+  std::vector<std::pair<int, std::exception_ptr>> errors;
+  parallel_for_chunks(
+      n, grain,
+      [&](int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          try {
+            body(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            errors.emplace_back(i, std::current_exception());
+          }
+        }
+      },
+      jobs);
+  if (!errors.empty()) {
     auto first = std::min_element(
-        loop->errors.begin(), loop->errors.end(),
+        errors.begin(), errors.end(),
         [](const auto& a, const auto& b) { return a.first < b.first; });
     std::rethrow_exception(first->second);
   }

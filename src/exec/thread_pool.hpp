@@ -74,23 +74,40 @@ class ThreadPool {
 
 /// Run body(0) ... body(n-1), each exactly once, using up to `jobs`
 /// threads (0 = default_jobs()).  Blocks until all items completed.
-void parallel_for(int n, const std::function<void(int)>& body, int jobs = 0);
+/// `grain` >= 1 batches that many consecutive indices into one scheduled
+/// task — sub-millisecond items (a single conformance trial) amortize the
+/// per-task synchronization over `grain` items while the by-index result
+/// contract is unchanged.  `grain` <= 0 picks a batch size automatically
+/// from n and the worker count.
+void parallel_for(int n, const std::function<void(int)>& body, int jobs = 0, int grain = 1);
+
+/// Chunked variant: invoke chunk(begin, end) over disjoint ranges covering
+/// [0, n), each range at most `grain` items (`grain` <= 0 = automatic).
+/// This is the reuse primitive for expensive per-thread state: a chunk
+/// body can construct one scratch object (e.g. a resettable Simulator) and
+/// run `end - begin` items through it.  Chunk bodies must still produce
+/// per-item results from the item index alone — the serial path (jobs <= 1)
+/// runs ONE chunk covering [0, n), so chunk boundaries are not part of the
+/// determinism contract.  If chunk bodies throw, every chunk still runs
+/// and the exception of the lowest `begin` is rethrown.
+void parallel_for_chunks(int n, int grain, const std::function<void(int, int)>& chunk,
+                         int jobs = 0);
 
 /// Map i -> fn(i) into a vector ordered by index.  T must be default
 /// constructible and movable.
 template <typename T, typename Fn>
-std::vector<T> parallel_map(int n, Fn&& fn, int jobs = 0) {
+std::vector<T> parallel_map(int n, Fn&& fn, int jobs = 0, int grain = 1) {
   std::vector<T> results(static_cast<std::size_t>(n > 0 ? n : 0));
   parallel_for(
-      n, [&](int i) { results[static_cast<std::size_t>(i)] = fn(i); }, jobs);
+      n, [&](int i) { results[static_cast<std::size_t>(i)] = fn(i); }, jobs, grain);
   return results;
 }
 
 /// Left fold of fn(0) ... fn(n-1) into `init` IN INDEX ORDER — the
 /// reduction a serial loop would compute, whatever order the map ran in.
 template <typename T, typename U, typename Fn, typename Combine>
-T parallel_reduce(int n, T init, Fn&& fn, Combine&& combine, int jobs = 0) {
-  std::vector<U> mapped = parallel_map<U>(n, std::forward<Fn>(fn), jobs);
+T parallel_reduce(int n, T init, Fn&& fn, Combine&& combine, int jobs = 0, int grain = 1) {
+  std::vector<U> mapped = parallel_map<U>(n, std::forward<Fn>(fn), jobs, grain);
   T acc = std::move(init);
   for (U& item : mapped) acc = combine(std::move(acc), std::move(item));
   return acc;

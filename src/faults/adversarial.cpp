@@ -1,6 +1,7 @@
 #include "faults/adversarial.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "exec/thread_pool.hpp"
 #include "sim/delay_space.hpp"
@@ -70,6 +71,19 @@ Evaluation evaluate(const sg::StateGraph& spec, const netlist::Netlist& circuit,
   return eval;
 }
 
+Evaluation evaluate(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                    const sim::CompiledNetlist& compiled, std::vector<double> delays,
+                    std::uint64_t env_seed, const ScenarioOptions& options,
+                    sim::Simulator* reuse) {
+  FaultScenario scenario;
+  scenario.seed = env_seed;
+  scenario.delays = std::move(delays);
+  Evaluation eval;
+  eval.run = run_probed(spec, binding, compiled, scenario, options, reuse);
+  eval.score = eval.run.report.violations.empty() ? eval.run.min_slack : -kNoMargin;
+  return eval;
+}
+
 }  // namespace
 
 namespace {
@@ -89,17 +103,28 @@ struct RestartOutcome {
 
 RestartOutcome climb_restart(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                              const SearchSpace& box, const sim::DelaySpace& space,
-                             const AdversarialOptions& options, int restart) {
+                             const AdversarialOptions& options, int restart,
+                             const sim::SpecBinding* binding,
+                             const sim::CompiledNetlist* compiled) {
   // One environment stream per restart keeps the objective deterministic
   // in the delay vector, so accepted steps are genuine descents.
   const std::uint64_t env_seed = run_seed(options.seed, restart);
   Rng rng(env_seed ^ 0xadce5a17ULL);
 
+  // The whole climb is a serial evaluate loop — the prime Simulator-reuse
+  // site.  `compiled == nullptr` is the reference path.
+  std::optional<sim::Simulator> reuse;
+  if (compiled) reuse.emplace(*compiled, sim::SimulatorOptions{});
+  auto eval_point = [&](const std::vector<double>& delays) {
+    return compiled ? evaluate(spec, *binding, *compiled, delays, env_seed, options.run, &*reuse)
+                    : evaluate(spec, circuit, delays, env_seed, options.run);
+  };
+
   RestartOutcome out;
   out.env_seed = env_seed;
 
   std::vector<double> current = sample_uniform(box, space, rng);
-  Evaluation eval = evaluate(spec, circuit, current, env_seed, options.run);
+  Evaluation eval = eval_point(current);
   ++out.evaluations;
   double current_score = eval.score;
   auto take_best = [&](const std::vector<double>& delays, const Evaluation& e) {
@@ -125,7 +150,7 @@ RestartOutcome climb_restart(const sg::StateGraph& spec, const netlist::Netlist&
     } else if (box.lo[i] < box.hi[i]) {
       candidate[i] = rng.next_double(box.lo[i], box.hi[i]);
     }
-    Evaluation step = evaluate(spec, circuit, candidate, env_seed, options.run);
+    Evaluation step = eval_point(candidate);
     ++out.evaluations;
     if (step.score <= current_score) {  // accept sideways moves too
       current = std::move(candidate);
@@ -141,12 +166,18 @@ RestartOutcome climb_restart(const sg::StateGraph& spec, const netlist::Netlist&
 AdversarialResult adversarial_delay_search(const sg::StateGraph& spec,
                                            const netlist::Netlist& circuit,
                                            const AdversarialOptions& options) {
-  const sim::DelaySpace space(circuit, gatelib::GateLibrary::standard());
+  const sim::CompiledNetlist compiled(circuit, gatelib::GateLibrary::standard());
+  const sim::SpecBinding binding(spec, circuit);
+  const sim::DelaySpace& space = compiled.delay_space();
   const SearchSpace box = make_space(circuit, space, options);
 
   std::vector<RestartOutcome> restarts = exec::parallel_map<RestartOutcome>(
       options.restarts,
-      [&](int r) { return climb_restart(spec, circuit, box, space, options, r); },
+      [&](int r) {
+        return climb_restart(spec, circuit, box, space, options, r,
+                             options.reference_kernels ? nullptr : &binding,
+                             options.reference_kernels ? nullptr : &compiled);
+      },
       options.jobs);
 
   // Merge in restart order, reproducing the serial sweep exactly: a strict
@@ -174,21 +205,32 @@ AdversarialResult adversarial_delay_search(const sg::StateGraph& spec,
 MonteCarloResult stressed_monte_carlo(const sg::StateGraph& spec,
                                       const netlist::Netlist& circuit, int runs,
                                       const AdversarialOptions& options) {
-  const sim::DelaySpace space(circuit, gatelib::GateLibrary::standard());
+  const sim::CompiledNetlist compiled(circuit, gatelib::GateLibrary::standard());
+  const sim::SpecBinding binding(spec, circuit);
+  const sim::DelaySpace& space = compiled.delay_space();
   const SearchSpace box = make_space(circuit, space, options);
 
   struct Trial {
     bool violated = false;
     double min_slack = kNoMargin;
   };
-  const std::vector<Trial> trials = exec::parallel_map<Trial>(
-      runs,
-      [&](int r) {
-        const std::uint64_t seed = run_seed(options.seed, r);
-        Rng rng(seed);
-        const Evaluation eval =
-            evaluate(spec, circuit, sample_uniform(box, space, rng), seed, options.run);
-        return Trial{!eval.run.report.violations.empty(), eval.run.min_slack};
+  std::vector<Trial> trials(static_cast<std::size_t>(std::max(runs, 0)));
+  exec::parallel_for_chunks(
+      runs, options.grain,
+      [&](int begin, int end) {
+        std::optional<sim::Simulator> reuse;
+        if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+        for (int r = begin; r < end; ++r) {
+          const std::uint64_t seed = run_seed(options.seed, r);
+          Rng rng(seed);
+          const Evaluation eval =
+              options.reference_kernels
+                  ? evaluate(spec, circuit, sample_uniform(box, space, rng), seed, options.run)
+                  : evaluate(spec, binding, compiled, sample_uniform(box, space, rng), seed,
+                             options.run, &*reuse);
+          trials[static_cast<std::size_t>(r)] =
+              Trial{!eval.run.report.violations.empty(), eval.run.min_slack};
+        }
       },
       options.jobs);
 

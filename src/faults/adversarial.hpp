@@ -33,6 +33,14 @@ struct AdversarialOptions {
   /// violating one are discarded) — so the result is identical for every
   /// jobs value.  Monte Carlo baseline runs parallelize the same way.
   int jobs = 0;
+  /// Monte Carlo trials batched per scheduled task; each chunk reuses one
+  /// resettable Simulator (<= 0 = automatic batch size).  Hill-climb
+  /// restarts always reuse one Simulator across their whole climb.
+  int grain = 0;
+  /// Route every evaluation through the uncompiled reference path (fresh
+  /// netlist compile per run) — for kernel equivalence tests and
+  /// benchmarking only.
+  bool reference_kernels = false;
   ScenarioOptions run;
 };
 

@@ -85,11 +85,25 @@ sim::ConformanceReport run_scenario(const sg::StateGraph& spec, const netlist::N
                                     const ScenarioOptions& options,
                                     sim::VcdRecorder* recorder = nullptr);
 
+/// Hot-path variant over a pre-compiled netlist and pre-resolved binding;
+/// `reuse` (optional, built from `compiled`) is reset and reused for the
+/// run.  Byte-identical to the uncompiled overload.
+sim::ConformanceReport run_scenario(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                                    const sim::CompiledNetlist& compiled,
+                                    const FaultScenario& scenario,
+                                    const ScenarioOptions& options,
+                                    sim::VcdRecorder* recorder = nullptr,
+                                    sim::Simulator* reuse = nullptr);
+
 /// The per-gate delay assignment `scenario` denotes, materialized: the
 /// explicit vector if given (else the seed-sampled one), with the delay
 /// faults applied on top.  Matches what the simulator will use gate by
 /// gate.
 std::vector<double> materialize_delays(const netlist::Netlist& circuit,
+                                       const FaultScenario& scenario);
+
+/// Same, drawing from the compiled netlist's precomputed DelaySpace.
+std::vector<double> materialize_delays(const sim::CompiledNetlist& compiled,
                                        const FaultScenario& scenario);
 
 /// Under-compensation variant: every delay line's instance delay zeroed

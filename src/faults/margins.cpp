@@ -23,6 +23,7 @@ void OmegaStats::merge(const OmegaStats& other) {
 
 MarginProbe::MarginProbe(const netlist::Netlist& circuit, const gatelib::GateLibrary& lib)
     : omega_(lib.mhs_threshold()) {
+  watch_.resize(static_cast<std::size_t>(circuit.num_nets()));
   for (GateId g = 0; g < circuit.num_gates(); ++g) {
     const Gate& gate = circuit.gate(g);
     if (gate.type != GateType::kMhsFlipFlop) continue;
@@ -89,9 +90,9 @@ void MarginProbe::edge(Cell& cell, bool set_side, bool level, double time) {
 }
 
 void MarginProbe::on_change(NetId net, bool value, double time) {
-  const auto it = watch_.find(net);
-  if (it == watch_.end()) return;
-  for (const auto& [index, slot] : it->second) {
+  const std::vector<std::pair<int, int>>& entries = watch_[static_cast<std::size_t>(net)];
+  if (entries.empty()) return;
+  for (const auto& [index, slot] : entries) {
     Cell& cell = cells_[static_cast<std::size_t>(index)];
     const bool old_set = cell.values[0] && cell.values[2];
     const bool old_reset = cell.values[1] && cell.values[3];
@@ -116,20 +117,34 @@ struct PathDelays {
   std::vector<double> longest, shortest;
 };
 
-PathDelays settle_paths(const netlist::Netlist& circuit, const std::vector<double>& delays) {
-  const std::size_t n = static_cast<std::size_t>(circuit.num_nets());
-  PathDelays paths;
-  paths.longest.assign(n, -1.0);
-  paths.shortest.assign(n, -1.0);
-  std::function<void(NetId)> visit = [&](NetId net) {
+/// Netlist::driver is a linear scan; settle_paths runs it per net, so the
+/// compiled driver table (when available) turns an O(nets*gates) setup
+/// into O(nets).
+GateId driver_of(const netlist::Netlist& circuit, const sim::CompiledNetlist* compiled,
+                 NetId net) {
+  if (compiled) return compiled->driver(net);
+  const auto driver = circuit.driver(net);
+  return driver ? *driver : -1;
+}
+
+/// Recursive DFS state for settle_paths; a plain member call per net
+/// (this runs once per adversarial evaluation, so the indirection of a
+/// recursive std::function showed up in profiles).
+struct SettleVisitor {
+  const netlist::Netlist& circuit;
+  const std::vector<double>& delays;
+  const sim::CompiledNetlist* compiled;
+  PathDelays& paths;
+
+  void visit(NetId net) {
     const std::size_t i = static_cast<std::size_t>(net);
     if (paths.longest[i] >= 0.0) return;
-    const auto driver = circuit.driver(net);
-    if (!driver) {
+    const GateId driver = driver_of(circuit, compiled, net);
+    if (driver < 0) {
       paths.longest[i] = paths.shortest[i] = 0.0;
       return;
     }
-    const Gate& gate = circuit.gate(*driver);
+    const Gate& gate = circuit.gate(driver);
     if (gatelib::is_storage(gate.type) || gate.feedback_cut) {
       paths.longest[i] = paths.shortest[i] = 0.0;
       return;
@@ -144,32 +159,40 @@ PathDelays settle_paths(const netlist::Netlist& circuit, const std::vector<doubl
       lo = std::min(lo, paths.shortest[static_cast<std::size_t>(in)]);
     }
     if (gate.inputs.empty()) lo = 0.0;
-    const double d = delays[static_cast<std::size_t>(*driver)];
+    const double d = delays[static_cast<std::size_t>(driver)];
     paths.longest[i] = hi + d;
     paths.shortest[i] = lo + d;
-  };
-  for (NetId net = 0; net < circuit.num_nets(); ++net) visit(net);
+  }
+};
+
+PathDelays settle_paths(const netlist::Netlist& circuit, const std::vector<double>& delays,
+                        const sim::CompiledNetlist* compiled = nullptr) {
+  const std::size_t n = static_cast<std::size_t>(circuit.num_nets());
+  PathDelays paths;
+  paths.longest.assign(n, -1.0);
+  paths.shortest.assign(n, -1.0);
+  SettleVisitor visitor{circuit, delays, compiled, paths};
+  for (NetId net = 0; net < circuit.num_nets(); ++net) visitor.visit(net);
   return paths;
 }
 
 /// Instance delay of a delay line directly feeding `net`, else 0.
 double enable_line_delay(const netlist::Netlist& circuit, const std::vector<double>& delays,
-                         NetId net) {
-  const auto driver = circuit.driver(net);
-  if (!driver) return 0.0;
-  if (circuit.gate(*driver).type != GateType::kDelayLine) return 0.0;
-  return delays[static_cast<std::size_t>(*driver)];
+                         NetId net, const sim::CompiledNetlist* compiled = nullptr) {
+  const GateId driver = driver_of(circuit, compiled, net);
+  if (driver < 0) return 0.0;
+  if (circuit.gate(driver).type != GateType::kDelayLine) return 0.0;
+  return delays[static_cast<std::size_t>(driver)];
 }
 
-}  // namespace
-
-std::vector<Eq1Margin> eq1_margins(const netlist::Netlist& circuit,
-                                   const gatelib::GateLibrary& lib,
-                                   const std::vector<double>& delays) {
+std::vector<Eq1Margin> eq1_margins_impl(const netlist::Netlist& circuit,
+                                        const gatelib::GateLibrary& lib,
+                                        const std::vector<double>& delays,
+                                        const sim::CompiledNetlist* compiled) {
   NSHOT_REQUIRE(delays.size() == static_cast<std::size_t>(circuit.num_gates()),
                 "eq1_margins: one delay per gate expected");
   std::vector<Eq1Margin> margins;
-  const PathDelays paths = settle_paths(circuit, delays);
+  const PathDelays paths = settle_paths(circuit, delays, compiled);
   const double t_mhs = lib.mhs_response();
   for (GateId g = 0; g < circuit.num_gates(); ++g) {
     const Gate& gate = circuit.gate(g);
@@ -183,13 +206,26 @@ std::vector<Eq1Margin> eq1_margins(const netlist::Netlist& circuit,
     m.t_set1_fast = paths.shortest[set];
     m.t_res0_worst = paths.longest[reset];
     m.t_res1_fast = paths.shortest[reset];
-    m.t_del_set = enable_line_delay(circuit, delays, gate.inputs[2]);
-    m.t_del_reset = enable_line_delay(circuit, delays, gate.inputs[3]);
+    m.t_del_set = enable_line_delay(circuit, delays, gate.inputs[2], compiled);
+    m.t_del_reset = enable_line_delay(circuit, delays, gate.inputs[3], compiled);
     m.slack_set = m.t_del_set + m.t_res1_fast + t_mhs - m.t_set0_worst;
     m.slack_reset = m.t_del_reset + m.t_set1_fast + t_mhs - m.t_res0_worst;
     margins.push_back(std::move(m));
   }
   return margins;
+}
+
+}  // namespace
+
+std::vector<Eq1Margin> eq1_margins(const netlist::Netlist& circuit,
+                                   const gatelib::GateLibrary& lib,
+                                   const std::vector<double>& delays) {
+  return eq1_margins_impl(circuit, lib, delays, nullptr);
+}
+
+std::vector<Eq1Margin> eq1_margins(const sim::CompiledNetlist& compiled,
+                                   const std::vector<double>& delays) {
+  return eq1_margins_impl(compiled.netlist(), compiled.lib(), delays, &compiled);
 }
 
 std::vector<Eq1Requirement> eq1_requirements(const netlist::Netlist& circuit,
@@ -237,6 +273,28 @@ ProbedRun run_probed(const sg::StateGraph& spec, const netlist::Netlist& circuit
   ProbedRun run;
   run.report = sim::run_closed_loop(spec, circuit, config);
   run.eq1 = eq1_margins(circuit, lib, pinned.delays);
+  for (int k = 0; k < probe.num_cells(); ++k) {
+    run.omega.push_back(probe.stats(k));
+    run.min_slack = std::min(run.min_slack, probe.stats(k).min_slack());
+  }
+  for (const Eq1Margin& m : run.eq1) run.min_slack = std::min(run.min_slack, m.slack());
+  return run;
+}
+
+ProbedRun run_probed(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                     const sim::CompiledNetlist& compiled, const FaultScenario& scenario,
+                     const ScenarioOptions& options, sim::Simulator* reuse) {
+  FaultScenario pinned = scenario;
+  pinned.delays = materialize_delays(compiled, scenario);
+
+  MarginProbe probe(compiled.netlist(), compiled.lib());
+  sim::ClosedLoopConfig config = to_config(pinned, options);
+  config.observer = probe.observer();
+  config.on_initialized = [&probe](const sim::Simulator& sim) { probe.capture_initial(sim); };
+
+  ProbedRun run;
+  run.report = sim::run_closed_loop(spec, binding, compiled, config, nullptr, reuse);
+  run.eq1 = eq1_margins(compiled, pinned.delays);
   for (int k = 0; k < probe.num_cells(); ++k) {
     run.omega.push_back(probe.stats(k));
     run.min_slack = std::min(run.min_slack, probe.stats(k).min_slack());

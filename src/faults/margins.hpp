@@ -87,8 +87,9 @@ class MarginProbe {
 
   double omega_;
   std::vector<Cell> cells_;
-  // net -> (cell index, slot); slots 0..3 are cell inputs, 4 is q.
-  std::unordered_map<netlist::NetId, std::vector<std::pair<int, int>>> watch_;
+  // Indexed by net: (cell index, slot) pairs; slots 0..3 are cell inputs,
+  // 4 is q.  A flat table — on_change runs once per committed net event.
+  std::vector<std::vector<std::pair<int, int>>> watch_;
 };
 
 /// Eq. 1 slack of one MHS flip-flop under a concrete delay vector.
@@ -112,6 +113,11 @@ struct Eq1Margin {
 /// `materialize_delays` or Simulator::gate_delays).
 std::vector<Eq1Margin> eq1_margins(const netlist::Netlist& circuit,
                                    const gatelib::GateLibrary& lib,
+                                   const std::vector<double>& delays);
+
+/// Same evaluation using the compiled netlist's O(1) driver table instead
+/// of per-net linear scans.
+std::vector<Eq1Margin> eq1_margins(const sim::CompiledNetlist& compiled,
                                    const std::vector<double>& delays);
 
 /// Corner-case Eq. 1 requirement of one MHS flip-flop: the compensation
@@ -149,5 +155,12 @@ struct ProbedRun {
 
 ProbedRun run_probed(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                      const FaultScenario& scenario, const ScenarioOptions& options);
+
+/// Hot-path variant over a pre-compiled netlist and pre-resolved binding;
+/// `reuse` (optional, built from `compiled`) is reset and reused for the
+/// run.  Byte-identical to the uncompiled overload.
+ProbedRun run_probed(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                     const sim::CompiledNetlist& compiled, const FaultScenario& scenario,
+                     const ScenarioOptions& options, sim::Simulator* reuse = nullptr);
 
 }  // namespace nshot::faults

@@ -1,6 +1,7 @@
 #include "faults/stress.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "exec/thread_pool.hpp"
 #include "sim/delay_space.hpp"
@@ -34,6 +35,11 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
                         const std::string& benchmark, const StressOptions& options) {
   const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
   const double omega = lib.mhs_threshold();
+  // Compile once for the whole campaign: every phase below runs against
+  // the same CSR fanout / driver table / delay bounds and the same
+  // name-resolved spec binding.
+  const sim::CompiledNetlist compiled(circuit, lib);
+  const sim::SpecBinding binding(spec, circuit);
   StressReport report;
   report.benchmark = benchmark;
   report.margin_runs = options.margin_runs;
@@ -52,12 +58,20 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
   // Phase 1: margin measurement over independent delay samples of the
   // UNFAULTED circuit.  Each probed run depends only on run_seed(seed, r);
   // runs execute in parallel and merge in run order.
-  const std::vector<ProbedRun> probed = exec::parallel_map<ProbedRun>(
-      options.margin_runs,
-      [&](int r) {
-        FaultScenario scenario;
-        scenario.seed = run_seed(options.seed, r);
-        return run_probed(spec, circuit, scenario, options.run);
+  std::vector<ProbedRun> probed(static_cast<std::size_t>(std::max(options.margin_runs, 0)));
+  exec::parallel_for_chunks(
+      options.margin_runs, options.grain,
+      [&](int begin, int end) {
+        std::optional<sim::Simulator> reuse;
+        if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+        for (int r = begin; r < end; ++r) {
+          FaultScenario scenario;
+          scenario.seed = run_seed(options.seed, r);
+          probed[static_cast<std::size_t>(r)] =
+              options.reference_kernels
+                  ? run_probed(spec, circuit, scenario, options.run)
+                  : run_probed(spec, binding, compiled, scenario, options.run, &*reuse);
+        }
       },
       options.jobs);
   for (const ProbedRun& run : probed) {
@@ -79,7 +93,7 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
   // Phase 2: deterministic fault battery per cell.  The battery is first
   // enumerated into an ordered job list, then the (independent) scenarios
   // run in parallel; outcomes merge back in enumeration order.
-  const sim::DelaySpace space(circuit, lib);
+  const sim::DelaySpace& space = compiled.delay_space();
   struct BatteryEntry {
     int cell = 0;
     Fault fault;
@@ -113,35 +127,44 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
     // Slow-outlier delay on each SOP driver gate.
     if (options.delay_outliers) {
       for (int pin = 0; pin < 2; ++pin) {
-        const auto driver = circuit.driver(mhs.inputs[static_cast<std::size_t>(pin)]);
-        if (!driver || space.fixed(*driver)) continue;
+        const GateId driver = compiled.driver(mhs.inputs[static_cast<std::size_t>(pin)]);
+        if (driver < 0 || space.fixed(driver)) continue;
         Fault fault;
         fault.kind = FaultKind::kDelayOutlier;
-        fault.gate = *driver;
-        fault.delay = space.hi(*driver) * options.outlier_factor;
+        fault.gate = driver;
+        fault.delay = space.hi(driver) * options.outlier_factor;
         battery.push_back({k, fault});
       }
     }
   }
 
-  std::vector<FaultOutcome> outcomes = exec::parallel_map<FaultOutcome>(
-      static_cast<int>(battery.size()),
-      [&](int j) {
-        const BatteryEntry& entry = battery[static_cast<std::size_t>(j)];
-        FaultOutcome outcome;
-        outcome.fault = entry.fault;
-        outcome.signal = cells.cell_signal(entry.cell);
-        outcome.description = describe_fault(entry.fault, circuit);
-        FaultScenario scenario;
-        scenario.seed = options.seed;
-        scenario.faults.push_back(entry.fault);
-        const sim::ConformanceReport run = run_scenario(spec, circuit, scenario, options.run);
-        outcome.survived = run.clean();
-        if (!run.violations.empty())
-          outcome.violation =
-              std::string(sim::violation_kind_name(run.violations.front().kind)) + ": " +
-              run.violations.front().description;
-        return outcome;
+  std::vector<FaultOutcome> outcomes(battery.size());
+  exec::parallel_for_chunks(
+      static_cast<int>(battery.size()), options.grain,
+      [&](int begin, int end) {
+        std::optional<sim::Simulator> reuse;
+        if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+        for (int j = begin; j < end; ++j) {
+          const BatteryEntry& entry = battery[static_cast<std::size_t>(j)];
+          FaultOutcome outcome;
+          outcome.fault = entry.fault;
+          outcome.signal = cells.cell_signal(entry.cell);
+          outcome.description = describe_fault(entry.fault, circuit);
+          FaultScenario scenario;
+          scenario.seed = options.seed;
+          scenario.faults.push_back(entry.fault);
+          const sim::ConformanceReport run =
+              options.reference_kernels
+                  ? run_scenario(spec, circuit, scenario, options.run)
+                  : run_scenario(spec, binding, compiled, scenario, options.run, nullptr,
+                                 &*reuse);
+          outcome.survived = run.clean();
+          if (!run.violations.empty())
+            outcome.violation =
+                std::string(sim::violation_kind_name(run.violations.front().kind)) + ": " +
+                run.violations.front().description;
+          outcomes[static_cast<std::size_t>(j)] = std::move(outcome);
+        }
       },
       options.jobs);
   for (std::size_t j = 0; j < outcomes.size(); ++j) {
@@ -153,7 +176,9 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
 
   // Phase 3: adversarial delay-stress search.
   if (options.adversarial.restarts > 0) {
-    report.adversarial = adversarial_delay_search(spec, circuit, options.adversarial);
+    AdversarialOptions adversarial = options.adversarial;
+    adversarial.reference_kernels |= options.reference_kernels;
+    report.adversarial = adversarial_delay_search(spec, circuit, adversarial);
     report.adversarial_ran = true;
   }
   return report;

@@ -27,6 +27,13 @@ struct StressOptions {
   /// its JSON) is byte-identical for every jobs value.  The nested
   /// adversarial search parallelizes through its own `adversarial.jobs`.
   int jobs = 0;
+  /// Trials/battery entries batched per scheduled task; each chunk runs
+  /// through one resettable Simulator (<= 0 = automatic batch size).
+  int grain = 0;
+  /// Route every run through the uncompiled reference simulation path
+  /// (fresh netlist compile per run) -- for kernel equivalence tests and
+  /// benchmarking only.  Also forwarded to the adversarial search.
+  bool reference_kernels = false;
   /// Probed runs feeding the margin report (distinct delay samples).
   int margin_runs = 5;
   /// Glitch widths to inject, as multiples of the threshold ω.

@@ -26,6 +26,10 @@ struct ExactOptions {
   /// results concatenate in output order, so the cover is identical for
   /// every jobs value.
   int jobs = 0;
+  /// Enumerate prime keys through ordered std::set instead of the hashed
+  /// hot path — for kernel equivalence tests and benchmarking only.  Both
+  /// paths emit the primes in the same sorted (lo, hi) order.
+  bool reference_sets = false;
 };
 
 /// All prime implicants of output `o` of `spec` (maximal cubes disjoint

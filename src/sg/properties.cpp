@@ -1,8 +1,9 @@
 #include "sg/properties.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -104,25 +105,39 @@ std::uint64_t excited_noninput_mask(const StateGraph& sg, StateId s) {
 
 PropertyReport check_csc(const StateGraph& sg) {
   PropertyReport report;
-  std::map<std::uint64_t, std::vector<StateId>> by_code;
-  for (StateId s = 0; s < sg.num_states(); ++s) by_code[sg.code(s)].push_back(s);
-  for (const auto& [code, states] : by_code) {
-    if (states.size() < 2) continue;
-    const std::uint64_t reference = excited_noninput_mask(sg, states[0]);
-    for (std::size_t i = 1; i < states.size(); ++i) {
-      if (excited_noninput_mask(sg, states[i]) != reference) {
-        report.violations.push_back("CSC conflict between " + sg.state_name(states[0]) + " and " +
-                                    sg.state_name(states[i]) +
-                                    " (equal codes, different excited non-input signals)");
+  // Sort (code, state) pairs instead of grouping through std::map: groups
+  // come out in ascending code order with states ascending within a group,
+  // exactly the map iteration order, so violations list identically.
+  std::vector<std::pair<std::uint64_t, StateId>> by_code(
+      static_cast<std::size_t>(sg.num_states()));
+  for (StateId s = 0; s < sg.num_states(); ++s)
+    by_code[static_cast<std::size_t>(s)] = {sg.code(s), s};
+  std::sort(by_code.begin(), by_code.end());
+  for (std::size_t begin = 0; begin < by_code.size();) {
+    std::size_t end = begin;
+    while (end < by_code.size() && by_code[end].first == by_code[begin].first) ++end;
+    if (end - begin >= 2) {
+      const StateId first = by_code[begin].second;
+      const std::uint64_t reference = excited_noninput_mask(sg, first);
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        if (excited_noninput_mask(sg, by_code[i].second) != reference) {
+          report.violations.push_back("CSC conflict between " + sg.state_name(first) + " and " +
+                                      sg.state_name(by_code[i].second) +
+                                      " (equal codes, different excited non-input signals)");
+        }
       }
     }
+    begin = end;
   }
   return report;
 }
 
 PropertyReport check_usc(const StateGraph& sg) {
   PropertyReport report;
-  std::map<std::uint64_t, StateId> seen;
+  // The map is only a first-occurrence lookup; violations list in state
+  // order, so a hashed map reports identically.
+  std::unordered_map<std::uint64_t, StateId> seen;
+  seen.reserve(static_cast<std::size_t>(sg.num_states()));
   for (StateId s = 0; s < sg.num_states(); ++s) {
     const auto [it, inserted] = seen.emplace(sg.code(s), s);
     if (!inserted)
@@ -135,11 +150,16 @@ PropertyReport check_usc(const StateGraph& sg) {
 std::vector<StateId> detonant_states(const StateGraph& sg, SignalId a) {
   NSHOT_REQUIRE(!sg.is_input(a), "detonant states are defined for non-input signals");
   std::vector<StateId> result;
+  std::vector<StateId> exciting_successors;
   for (StateId w = 0; w < sg.num_states(); ++w) {
     if (sg.excited(w, a)) continue;  // a must be stable in w
-    std::set<StateId> exciting_successors;
+    exciting_successors.clear();
     for (const Edge& e : sg.out_edges(w))
-      if (sg.excited(e.target, a)) exciting_successors.insert(e.target);
+      if (sg.excited(e.target, a)) exciting_successors.push_back(e.target);
+    std::sort(exciting_successors.begin(), exciting_successors.end());
+    exciting_successors.erase(
+        std::unique(exciting_successors.begin(), exciting_successors.end()),
+        exciting_successors.end());
     if (exciting_successors.size() >= 2) result.push_back(w);
   }
   return result;

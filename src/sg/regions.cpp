@@ -1,6 +1,7 @@
 #include "sg/regions.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 
@@ -101,14 +102,46 @@ class SccFinder {
 };
 
 /// Compute QR(*a_i): forward flood from the stable exit states of the ER.
+/// Membership is a per-state byte flag; the final sort reproduces the
+/// ascending order the reference std::set implementation iterated in.
 std::vector<StateId> quiescent_of(const StateGraph& sg, SignalId a,
                                   const std::vector<StateId>& er_states, bool rising) {
+  const bool new_value = rising;
+  std::vector<std::uint8_t> in_region(static_cast<std::size_t>(sg.num_states()), 0);
+  std::vector<StateId> region;
+  std::vector<StateId> frontier;
+  auto try_add = [&](StateId t) {
+    if (in_region[static_cast<std::size_t>(t)]) return;
+    in_region[static_cast<std::size_t>(t)] = 1;
+    region.push_back(t);
+    frontier.push_back(t);
+  };
+  for (const StateId s : er_states) {
+    const auto exit = sg.successor(s, TransitionLabel{a, rising});
+    if (!exit) continue;  // arcs of other signals; the *a arc defines the exit
+    if (sg.value(*exit, a) == new_value && !sg.excited(*exit, a)) try_add(*exit);
+  }
+  while (!frontier.empty()) {
+    const StateId s = frontier.back();
+    frontier.pop_back();
+    for (const Edge& e : sg.out_edges(s)) {
+      const StateId t = e.target;
+      if (sg.value(t, a) == new_value && !sg.excited(t, a)) try_add(t);
+    }
+  }
+  std::sort(region.begin(), region.end());
+  return region;
+}
+
+/// Reference QR flood over std::set — kept for kernel equivalence tests.
+std::vector<StateId> quiescent_of_reference(const StateGraph& sg, SignalId a,
+                                            const std::vector<StateId>& er_states, bool rising) {
   const bool new_value = rising;
   std::set<StateId> region;
   std::vector<StateId> frontier;
   for (const StateId s : er_states) {
     const auto exit = sg.successor(s, TransitionLabel{a, rising});
-    if (!exit) continue;  // arcs of other signals; the *a arc defines the exit
+    if (!exit) continue;
     if (sg.value(*exit, a) == new_value && !sg.excited(*exit, a) && region.insert(*exit).second)
       frontier.push_back(*exit);
   }
@@ -132,7 +165,9 @@ bool ExcitationRegion::single_traversal() const {
   return true;
 }
 
-SignalRegions compute_regions(const StateGraph& sg, SignalId a) {
+namespace {
+
+SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool reference) {
   NSHOT_REQUIRE(a >= 0 && a < sg.num_signals(), "signal index out of range");
 
   SignalRegions result;
@@ -161,17 +196,40 @@ SignalRegions compute_regions(const StateGraph& sg, SignalId a) {
                                    static_cast<std::size_t>(t_local));
       }
     }
-    std::map<std::size_t, std::vector<StateId>> components;
-    for (std::size_t i = 0; i < members.size(); ++i)
-      components[uf.find(i)].push_back(members[i]);
+    // Group members into components by UF root, in ascending root order.
+    // The hot path sorts (root, index) pairs; the reference path groups
+    // through std::map.  A stable sort keeps members within a component in
+    // ascending index order, so both paths produce identical groups.
+    std::vector<std::vector<StateId>> components;
+    if (reference) {
+      std::map<std::size_t, std::vector<StateId>> by_root;
+      for (std::size_t i = 0; i < members.size(); ++i)
+        by_root[uf.find(i)].push_back(members[i]);
+      for (auto& [root, er_states] : by_root) components.push_back(std::move(er_states));
+    } else {
+      std::vector<std::pair<std::size_t, std::size_t>> rooted(members.size());
+      for (std::size_t i = 0; i < members.size(); ++i) rooted[i] = {uf.find(i), i};
+      std::stable_sort(rooted.begin(), rooted.end(),
+                       [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (std::size_t begin = 0; begin < rooted.size();) {
+        std::size_t end = begin;
+        while (end < rooted.size() && rooted[end].first == rooted[begin].first) ++end;
+        std::vector<StateId> er_states;
+        er_states.reserve(end - begin);
+        for (std::size_t k = begin; k < end; ++k) er_states.push_back(members[rooted[k].second]);
+        components.push_back(std::move(er_states));
+        begin = end;
+      }
+    }
 
-    for (auto& [root, er_states] : components) {
+    for (auto& er_states : components) {
       ExcitationRegion er;
       er.signal = a;
       er.rising = rising;
       std::sort(er_states.begin(), er_states.end());
       er.states = er_states;
-      er.quiescent = quiescent_of(sg, a, er.states, rising);
+      er.quiescent = reference ? quiescent_of_reference(sg, a, er.states, rising)
+                               : quiescent_of(sg, a, er.states, rising);
 
       // Trigger regions: bottom SCCs of the subgraph of the ER induced by
       // the arcs that do not fire *a.
@@ -206,6 +264,16 @@ SignalRegions compute_regions(const StateGraph& sg, SignalId a) {
   return result;
 }
 
+}  // namespace
+
+SignalRegions compute_regions(const StateGraph& sg, SignalId a) {
+  return compute_regions_impl(sg, a, /*reference=*/false);
+}
+
+SignalRegions compute_regions_reference(const StateGraph& sg, SignalId a) {
+  return compute_regions_impl(sg, a, /*reference=*/true);
+}
+
 std::vector<SignalRegions> compute_all_regions(const StateGraph& sg) {
   std::vector<SignalRegions> all;
   for (const SignalId a : sg.noninput_signals()) all.push_back(compute_regions(sg, a));
@@ -222,34 +290,39 @@ bool is_single_traversal(const StateGraph& sg) {
 }
 
 bool verify_output_trapping(const StateGraph& sg, const ExcitationRegion& er) {
-  const std::set<StateId> members(er.states.begin(), er.states.end());
+  std::vector<std::uint8_t> member(static_cast<std::size_t>(sg.num_states()), 0);
+  for (const StateId s : er.states) member[static_cast<std::size_t>(s)] = 1;
   for (const StateId s : er.states) {
     for (const Edge& e : sg.out_edges(s)) {
       if (e.label.signal == er.signal) continue;  // firing *a: allowed exit
-      if (!members.contains(e.target)) return false;
+      if (!member[static_cast<std::size_t>(e.target)]) return false;
     }
   }
   return true;
 }
 
 bool verify_trigger_reachability(const StateGraph& sg, const ExcitationRegion& er) {
-  std::set<StateId> trigger_states;
+  std::vector<std::uint8_t> trigger(static_cast<std::size_t>(sg.num_states()), 0);
   for (const auto& tr : er.trigger_regions)
-    trigger_states.insert(tr.begin(), tr.end());
-  const std::set<StateId> members(er.states.begin(), er.states.end());
+    for (const StateId s : tr) trigger[static_cast<std::size_t>(s)] = 1;
+  std::vector<std::uint8_t> member(static_cast<std::size_t>(sg.num_states()), 0);
+  for (const StateId s : er.states) member[static_cast<std::size_t>(s)] = 1;
 
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(sg.num_states()), 0);
   for (const StateId start : er.states) {
     // BFS inside the ER over non-*a arcs.
-    std::set<StateId> seen{start};
+    std::fill(seen.begin(), seen.end(), 0);
+    seen[static_cast<std::size_t>(start)] = 1;
     std::vector<StateId> frontier{start};
-    bool found = trigger_states.contains(start);
+    bool found = trigger[static_cast<std::size_t>(start)] != 0;
     while (!frontier.empty() && !found) {
       const StateId s = frontier.back();
       frontier.pop_back();
       for (const Edge& e : sg.out_edges(s)) {
-        if (e.label.signal == er.signal || !members.contains(e.target)) continue;
-        if (seen.insert(e.target).second) {
-          if (trigger_states.contains(e.target)) {
+        if (e.label.signal == er.signal || !member[static_cast<std::size_t>(e.target)]) continue;
+        if (!seen[static_cast<std::size_t>(e.target)]) {
+          seen[static_cast<std::size_t>(e.target)] = 1;
+          if (trigger[static_cast<std::size_t>(e.target)]) {
             found = true;
             break;
           }

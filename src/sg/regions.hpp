@@ -45,6 +45,11 @@ struct SignalRegions {
 /// Compute the regions of non-input signal `a`.
 SignalRegions compute_regions(const StateGraph& sg, SignalId a);
 
+/// Same computation over the original ordered std::set / std::map
+/// structures — for kernel equivalence tests and benchmarking only.
+/// Identical output to compute_regions.
+SignalRegions compute_regions_reference(const StateGraph& sg, SignalId a);
+
 /// Regions of every non-input signal, in signal order.
 std::vector<SignalRegions> compute_all_regions(const StateGraph& sg);
 

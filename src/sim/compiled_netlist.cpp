@@ -1,0 +1,62 @@
+#include "sim/compiled_netlist.hpp"
+
+#include "util/error.hpp"
+
+namespace nshot::sim {
+
+using netlist::GateId;
+using netlist::NetId;
+
+CompiledNetlist::CompiledNetlist(const netlist::Netlist& netlist,
+                                 const gatelib::GateLibrary& lib)
+    : netlist_(&netlist), lib_(&lib), space_(netlist, lib) {
+  const std::size_t num_nets = static_cast<std::size_t>(netlist.num_nets());
+  const std::size_t num_gates = static_cast<std::size_t>(netlist.num_gates());
+
+  // CSR fanout: count, prefix-sum, fill.  Iterating gates in id order and
+  // writing each net's slots left to right reproduces the per-net
+  // gate-id-ordered lists the Simulator used to build with push_back.
+  std::vector<std::uint32_t> degree(num_nets, 0);
+  std::size_t total_inputs = 0;
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const netlist::Gate& gate = netlist.gate(g);
+    total_inputs += gate.inputs.size();
+    for (const NetId in : gate.inputs) ++degree[static_cast<std::size_t>(in)];
+  }
+  fanout_offset_.assign(num_nets + 1, 0);
+  for (std::size_t n = 0; n < num_nets; ++n)
+    fanout_offset_[n + 1] = fanout_offset_[n] + degree[n];
+  fanout_gate_.resize(fanout_offset_[num_nets]);
+  std::vector<std::uint32_t> cursor(fanout_offset_.begin(), fanout_offset_.end() - 1);
+  for (GateId g = 0; g < netlist.num_gates(); ++g)
+    for (const NetId in : netlist.gate(g).inputs)
+      fanout_gate_[cursor[static_cast<std::size_t>(in)]++] = g;
+
+  // Packed gate descriptors over shared flat input arrays.
+  gates_.reserve(num_gates);
+  input_net_.reserve(total_inputs);
+  input_inverted_.reserve(total_inputs);
+  driver_.assign(num_nets, -1);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const netlist::Gate& gate = netlist.gate(g);
+    CompiledGate packed;
+    packed.type = gate.type;
+    packed.feedback_cut = gate.feedback_cut;
+    packed.first_input = static_cast<std::uint32_t>(input_net_.size());
+    packed.num_inputs = static_cast<std::uint32_t>(gate.inputs.size());
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      input_net_.push_back(gate.inputs[i]);
+      input_inverted_.push_back(gate.input_inverted(i) ? 1 : 0);
+    }
+    if (!gate.outputs.empty()) packed.out0 = gate.outputs[0];
+    if (gate.outputs.size() > 1) packed.out1 = gate.outputs[1];
+    for (const NetId out : gate.outputs) {
+      NSHOT_REQUIRE(driver_[static_cast<std::size_t>(out)] < 0,
+                    "net " + netlist.net_name(out) + " has multiple drivers");
+      driver_[static_cast<std::size_t>(out)] = g;
+    }
+    gates_.push_back(packed);
+  }
+}
+
+}  // namespace nshot::sim

@@ -1,0 +1,87 @@
+// Compiled form of a netlist for the simulation hot path: everything a
+// Simulator trial needs that depends only on the netlist (not on the seed)
+// is flattened once here and shared — read-only — by every trial.
+//
+//  * fanout in CSR form (one offsets array + one flat gate array) instead
+//    of a vector-of-vectors rebuilt per Simulator;
+//  * packed gate descriptors with a flat input array and per-input
+//    inversion bytes, so eval_combinational walks contiguous memory
+//    instead of chasing std::vector<NetId>/std::vector<bool> per gate;
+//  * a per-net driver table (Netlist::driver is a linear scan over gates);
+//  * the DelaySpace, so per-trial delay sampling does not re-derive the
+//    per-gate bounds.
+//
+// A CompiledNetlist is immutable after construction and safe to share
+// across threads; the sweeps in sim/conformance.cpp and src/faults compile
+// one per campaign and run thousands of trials against it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/delay_space.hpp"
+
+namespace nshot::sim {
+
+/// Flattened gate descriptor.  Inputs live in the shared flat arrays
+/// [first_input, first_input + num_inputs); out1 is -1 except for the MHS
+/// flip-flop (q, qb).
+struct CompiledGate {
+  gatelib::GateType type = gatelib::GateType::kBuf;
+  bool feedback_cut = false;
+  std::uint32_t first_input = 0;
+  std::uint32_t num_inputs = 0;
+  netlist::NetId out0 = -1;
+  netlist::NetId out1 = -1;
+};
+
+class CompiledNetlist {
+ public:
+  CompiledNetlist(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+  const gatelib::GateLibrary& lib() const { return *lib_; }
+  const DelaySpace& delay_space() const { return space_; }
+
+  int num_nets() const { return static_cast<int>(fanout_offset_.size()) - 1; }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+
+  const CompiledGate& gate(netlist::GateId g) const {
+    return gates_[static_cast<std::size_t>(g)];
+  }
+
+  /// Gates reading `net`, in gate-id order (identical to the fanout lists
+  /// the Simulator used to build per construction).
+  std::span<const netlist::GateId> fanout(netlist::NetId net) const {
+    const std::size_t begin = fanout_offset_[static_cast<std::size_t>(net)];
+    const std::size_t end = fanout_offset_[static_cast<std::size_t>(net) + 1];
+    return {fanout_gate_.data() + begin, end - begin};
+  }
+
+  /// Input net i of gate `g` (0-based within the gate).
+  netlist::NetId input(const CompiledGate& g, std::size_t i) const {
+    return input_net_[g.first_input + i];
+  }
+  bool input_inverted(const CompiledGate& g, std::size_t i) const {
+    return input_inverted_[g.first_input + i] != 0;
+  }
+
+  /// Gate driving `net`, or -1 (precomputed; Netlist::driver scans).
+  netlist::GateId driver(netlist::NetId net) const {
+    return driver_[static_cast<std::size_t>(net)];
+  }
+
+ private:
+  const netlist::Netlist* netlist_;
+  const gatelib::GateLibrary* lib_;
+  DelaySpace space_;
+  std::vector<std::uint32_t> fanout_offset_;  // num_nets + 1 entries
+  std::vector<netlist::GateId> fanout_gate_;
+  std::vector<CompiledGate> gates_;
+  std::vector<netlist::NetId> input_net_;       // flat gate-input array
+  std::vector<std::uint8_t> input_inverted_;    // parallel to input_net_
+  std::vector<netlist::GateId> driver_;         // per net, -1 = undriven
+};
+
+}  // namespace nshot::sim

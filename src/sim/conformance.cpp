@@ -50,27 +50,42 @@ std::vector<std::pair<NetId, bool>> initial_net_values(const sg::StateGraph& spe
   return values;
 }
 
-namespace {
-
-/// One closed-loop run; appends to the report.  When `recorder` is given,
-/// every net change (and the initial values) are captured for VCD export.
-void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
-              const ClosedLoopConfig& config, ConformanceReport& report,
-              VcdRecorder* recorder = nullptr) {
-  const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
-  Simulator sim(circuit, lib, config.sim);
-  const std::uint64_t seed = config.sim.seed;
-  Rng rng(env_stream(config.env_seed != 0 ? config.env_seed : seed));
-
-  // Signal <-> net maps (by name, the repository-wide convention).
-  std::vector<NetId> signal_net(static_cast<std::size_t>(spec.num_signals()), -1);
-  std::vector<int> net_signal(static_cast<std::size_t>(circuit.num_nets()), -1);
+SpecBinding::SpecBinding(const sg::StateGraph& spec, const netlist::Netlist& circuit) {
+  signal_net.assign(static_cast<std::size_t>(spec.num_signals()), -1);
+  net_signal.assign(static_cast<std::size_t>(circuit.num_nets()), -1);
   for (int x = 0; x < spec.num_signals(); ++x) {
     const auto net = circuit.find_net(spec.signal(x).name);
     NSHOT_REQUIRE(net.has_value(), "circuit has no net for signal " + spec.signal(x).name);
     signal_net[static_cast<std::size_t>(x)] = *net;
     net_signal[static_cast<std::size_t>(*net)] = x;
+    observable.push_back(*net);
+    if (const auto qb = circuit.find_net(spec.signal(x).name + "_b")) observable.push_back(*qb);
   }
+  initial_values = initial_net_values(spec, circuit);
+
+  num_signals = spec.num_signals();
+  successor.assign(static_cast<std::size_t>(spec.num_states()) *
+                       static_cast<std::size_t>(num_signals) * 2,
+                   sg::StateId{-1});
+  for (sg::StateId s = 0; s < spec.num_states(); ++s)
+    for (const sg::Edge& e : spec.out_edges(s))
+      successor[(static_cast<std::size_t>(s) * static_cast<std::size_t>(num_signals) +
+                 static_cast<std::size_t>(e.label.signal)) * 2 + (e.label.rising ? 1 : 0)] =
+          e.target;
+}
+
+namespace {
+
+/// One closed-loop run; appends to the report.  `sim` must be freshly
+/// reset (or constructed) under config.sim.  When `recorder` is given,
+/// every net change (and the initial values) are captured for VCD export.
+void run_once(const sg::StateGraph& spec, const SpecBinding& binding, Simulator& sim,
+              const ClosedLoopConfig& config, ConformanceReport& report,
+              VcdRecorder* recorder = nullptr) {
+  const std::uint64_t seed = config.sim.seed;
+  Rng rng(env_stream(config.env_seed != 0 ? config.env_seed : seed));
+  const std::vector<NetId>& signal_net = binding.signal_net;
+  const std::vector<int>& net_signal = binding.net_signal;
 
   sg::StateId state = spec.initial();
   long run_transitions = 0;
@@ -82,21 +97,21 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
     if (config.observer) config.observer(net, value, time);
     const int x = net_signal[static_cast<std::size_t>(net)];
     if (x < 0 || failed) return;  // internal net, or already failing
-    const sg::TransitionLabel label{x, value};
-    const auto next = spec.successor(state, label);
-    if (next) {
-      state = *next;
+    const sg::StateId next = binding.next_state(state, x, value);
+    if (next >= 0) {
+      state = next;
       ++run_transitions;
       return;
     }
     failed = true;
+    const sg::TransitionLabel label{x, value};
     report.violations.push_back(ConformanceViolation{
         seed, time, spec.is_input(x) ? ViolationKind::kEnvironment : ViolationKind::kHazard,
         "unexpected transition " + spec.label_name(label) + " in state " +
             spec.state_name(state) + (spec.is_input(x) ? " (environment bug)" : " (hazard)")});
   });
 
-  sim.initialize(initial_net_values(spec, circuit));
+  sim.initialize(binding.initial_values);
   if (recorder) recorder->capture_initial(sim);
   if (config.on_initialized) config.on_initialized(sim);
   for (const auto& [net, value] : config.forces) sim.force_net(net, value);
@@ -108,19 +123,22 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
   std::optional<InputDecision> decision;
   std::size_t next_injection = 0;
   constexpr double kNever = std::numeric_limits<double>::infinity();
+  std::vector<sg::TransitionLabel> choices;  // reused across decisions
 
   while (!failed && run_transitions < config.max_transitions &&
          sim.now() < config.time_limit && !sim.budget_exhausted()) {
     // (Re)validate or make the environment's next input decision.  A
     // stuck-at input net cannot be toggled by the environment, so labels
     // on forced nets are not offered.
-    if (decision && !spec.enabled(state, decision->label)) decision.reset();
+    if (decision &&
+        binding.next_state(state, decision->label.signal, decision->label.rising) < 0)
+      decision.reset();
     if (!decision) {
-      std::vector<sg::TransitionLabel> choices;
-      for (const sg::TransitionLabel& label : spec.enabled_labels(state))
-        if (spec.is_input(label.signal) &&
-            !sim.is_forced(signal_net[static_cast<std::size_t>(label.signal)]))
-          choices.push_back(label);
+      choices.clear();
+      for (const sg::Edge& e : spec.out_edges(state))
+        if (spec.is_input(e.label.signal) &&
+            !sim.is_forced(signal_net[static_cast<std::size_t>(e.label.signal)]))
+          choices.push_back(e.label);
       if (!choices.empty()) {
         const sg::TransitionLabel pick = choices[rng.next_below(choices.size())];
         decision = InputDecision{
@@ -171,10 +189,10 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
     // environment, not a clean endpoint.
     bool output_pending = false;
     bool input_starved = false;
-    for (const sg::TransitionLabel& label : spec.enabled_labels(state)) {
-      if (!spec.is_input(label.signal))
+    for (const sg::Edge& e : spec.out_edges(state)) {
+      if (!spec.is_input(e.label.signal))
         output_pending = true;
-      else if (sim.is_forced(signal_net[static_cast<std::size_t>(label.signal)]))
+      else if (sim.is_forced(signal_net[static_cast<std::size_t>(e.label.signal)]))
         input_starved = true;
     }
     if (output_pending || input_starved) {
@@ -199,12 +217,7 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
   }
 
   report.external_transitions += run_transitions;
-  std::vector<NetId> excluded;
-  for (int x = 0; x < spec.num_signals(); ++x) {
-    excluded.push_back(signal_net[static_cast<std::size_t>(x)]);
-    if (const auto qb = circuit.find_net(spec.signal(x).name + "_b")) excluded.push_back(*qb);
-  }
-  report.internal_toggles += sim.total_toggles_excluding(excluded);
+  report.internal_toggles += sim.total_toggles_excluding(binding.observable);
   report.absorbed_pulses += sim.mhs_absorbed_pulses();
   report.simulated_time += sim.now();
 }
@@ -213,9 +226,24 @@ void run_once(const sg::StateGraph& spec, const netlist::Netlist& circuit,
 
 ConformanceReport run_closed_loop(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                                   const ClosedLoopConfig& config, VcdRecorder* recorder) {
+  const CompiledNetlist compiled(circuit, gatelib::GateLibrary::standard());
+  const SpecBinding binding(spec, circuit);
+  return run_closed_loop(spec, binding, compiled, config, recorder);
+}
+
+ConformanceReport run_closed_loop(const sg::StateGraph& spec, const SpecBinding& binding,
+                                  const CompiledNetlist& compiled,
+                                  const ClosedLoopConfig& config, VcdRecorder* recorder,
+                                  Simulator* reuse) {
   ConformanceReport report;
   report.runs = 1;
-  run_once(spec, circuit, config, report, recorder);
+  if (reuse) {
+    reuse->reset(config.sim);
+    run_once(spec, binding, *reuse, config, report, recorder);
+  } else {
+    Simulator sim(compiled, config.sim);
+    run_once(spec, binding, sim, config, report, recorder);
+  }
   return report;
 }
 
@@ -234,23 +262,51 @@ static void merge_run(ConformanceReport& total, const ConformanceReport& run) {
 
 ConformanceReport check_conformance(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                                     const ConformanceOptions& options) {
+  const CompiledNetlist compiled(circuit, gatelib::GateLibrary::standard());
+  return check_conformance(spec, compiled, options);
+}
+
+ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNetlist& compiled,
+                                    const ConformanceOptions& options) {
   // Every trial is a pure function of run_seed(options.seed, r), so the
   // sweep is an order-independent bag of work; only the merge is ordered.
-  const std::vector<ConformanceReport> trials = exec::parallel_map<ConformanceReport>(
-      options.runs,
-      [&](int r) {
-        ClosedLoopConfig config;
-        config.sim.seed = run_seed(options.seed, r);
-        config.sim.randomize_delays = true;
-        config.sim.max_events = options.max_events;
-        config.max_transitions = options.max_transitions;
-        config.input_delay_min = options.input_delay_min;
-        config.input_delay_max = options.input_delay_max;
-        config.time_limit = options.time_limit;
-        config.fundamental_mode = options.fundamental_mode;
-        ConformanceReport trial;
-        run_once(spec, circuit, config, trial);
-        return trial;
+  // Chunking lets each scheduled task run many sub-millisecond trials
+  // through one resettable Simulator.
+  const SpecBinding binding(spec, compiled.netlist());
+  auto trial_config = [&](int r) {
+    ClosedLoopConfig config;
+    config.sim.seed = run_seed(options.seed, r);
+    config.sim.randomize_delays = true;
+    config.sim.max_events = options.max_events;
+    config.max_transitions = options.max_transitions;
+    config.input_delay_min = options.input_delay_min;
+    config.input_delay_max = options.input_delay_max;
+    config.time_limit = options.time_limit;
+    config.fundamental_mode = options.fundamental_mode;
+    return config;
+  };
+  std::vector<ConformanceReport> trials(static_cast<std::size_t>(std::max(options.runs, 0)));
+  exec::parallel_for_chunks(
+      options.runs, options.grain,
+      [&](int begin, int end) {
+        std::optional<Simulator> sim;  // one per chunk, reset per trial
+        for (int r = begin; r < end; ++r) {
+          const ClosedLoopConfig config = trial_config(r);
+          ConformanceReport trial;
+          trial.runs = 1;
+          if (options.reference_kernels) {
+            // Old cost model: compile + construct per trial.
+            Simulator fresh(compiled.netlist(), compiled.lib(), config.sim);
+            run_once(spec, binding, fresh, config, trial);
+          } else if (!sim) {
+            sim.emplace(compiled, config.sim);
+            run_once(spec, binding, *sim, config, trial);
+          } else {
+            sim->reset(config.sim);
+            run_once(spec, binding, *sim, config, trial);
+          }
+          trials[static_cast<std::size_t>(r)] = std::move(trial);
+        }
       },
       options.jobs);
   ConformanceReport report;
@@ -266,9 +322,8 @@ TracedRun record_vcd_trace(const sg::StateGraph& spec, const netlist::Netlist& c
   config.sim.seed = seed;
   config.sim.randomize_delays = true;
   config.max_transitions = max_transitions;
-  TracedRun traced;
-  traced.report.runs = 1;
-  run_once(spec, circuit, config, traced.report, &recorder);
+  TracedRun traced = {};
+  traced.report = run_closed_loop(spec, circuit, config, &recorder);
   traced.vcd = recorder.write();
   return traced;
 }

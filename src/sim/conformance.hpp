@@ -32,6 +32,14 @@ struct ConformanceOptions {
   /// trial is reproducible from (seed, run) alone and results are merged
   /// in run order, so the report is byte-identical for every jobs value.
   int jobs = 0;
+  /// Trials batched per scheduled task (exec::parallel_for_chunks); one
+  /// Simulator is constructed per chunk and reset() between trials.
+  /// <= 0 picks a batch size from runs and the worker count.
+  int grain = 0;
+  /// Route every trial through the uncompiled reference path (fresh
+  /// netlist compile + simulator per trial).  Slow; exists so the kernel
+  /// equivalence tests and bench_kernels can compare against it.
+  bool reference_kernels = false;
   int max_transitions = 200;     // observable transitions per run
   double input_delay_min = 0.1;  // environment reaction interval
   double input_delay_max = 12.0;
@@ -93,10 +101,42 @@ ConformanceReport check_conformance(const sg::StateGraph& spec,
                                     const netlist::Netlist& circuit,
                                     const ConformanceOptions& options = {});
 
+/// Sweep against a pre-compiled netlist: the spec binding is resolved once
+/// and trials run chunked, one resettable Simulator per chunk.
+ConformanceReport check_conformance(const sg::StateGraph& spec,
+                                    const CompiledNetlist& compiled,
+                                    const ConformanceOptions& options = {});
+
 /// Net initial values for simulating `circuit` from the SG initial state:
 /// signal rails (q and qb), const0/const1, and feedback-cut state nets.
 std::vector<std::pair<netlist::NetId, bool>> initial_net_values(
     const sg::StateGraph& spec, const netlist::Netlist& circuit);
+
+/// Name-resolved binding of a spec to a circuit.  find_net is a linear
+/// scan, so resolving the signal<->net maps, initial values and observable
+/// rails used to dominate short trials; a binding is computed once per
+/// sweep and shared by every run against the same (spec, circuit) pair.
+struct SpecBinding {
+  SpecBinding(const sg::StateGraph& spec, const netlist::Netlist& circuit);
+
+  std::vector<netlist::NetId> signal_net;  // per SG signal
+  std::vector<int> net_signal;             // per net; -1 = internal
+  std::vector<std::pair<netlist::NetId, bool>> initial_values;
+  std::vector<netlist::NetId> observable;  // q and qb rails (toggle exclusion)
+
+  /// Dense successor table over the spec: state x signal x polarity -> next
+  /// state, -1 when the label is not enabled.  add_edge rejects duplicate
+  /// labels, so the table is exactly StateGraph::successor without the
+  /// per-lookup edge scan (one lookup per committed observable net event).
+  int num_signals = 0;
+  std::vector<sg::StateId> successor;
+  sg::StateId next_state(sg::StateId s, int signal, bool rising) const {
+    const std::size_t i =
+        (static_cast<std::size_t>(s) * static_cast<std::size_t>(num_signals) +
+         static_cast<std::size_t>(signal)) * 2 + (rising ? 1 : 0);
+    return successor[i];
+  }
+};
 
 /// A runtime fault action during a closed-loop run: at `time`, either pin
 /// `net` to `value` (force) or un-pin it (release).  A glitch pulse is a
@@ -145,6 +185,16 @@ struct ClosedLoopConfig {
 ConformanceReport run_closed_loop(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                                   const ClosedLoopConfig& config,
                                   VcdRecorder* recorder = nullptr);
+
+/// Hot-path variant over a pre-compiled netlist and pre-resolved binding.
+/// When `reuse` is non-null it is reset() under config.sim and used for
+/// the run (it must have been built from `compiled`); otherwise a local
+/// Simulator is constructed.  Behaviour is byte-identical either way.
+ConformanceReport run_closed_loop(const sg::StateGraph& spec, const SpecBinding& binding,
+                                  const CompiledNetlist& compiled,
+                                  const ClosedLoopConfig& config,
+                                  VcdRecorder* recorder = nullptr,
+                                  Simulator* reuse = nullptr);
 
 /// Run one closed-loop simulation and return its full waveform as VCD
 /// text (see sim/vcd.hpp) together with the conformance outcome.

@@ -36,10 +36,15 @@ std::vector<double> DelaySpace::nominal_vector() const {
 }
 
 std::vector<double> DelaySpace::sample(Rng& rng) const {
-  std::vector<double> delays(lo_.size());
-  for (std::size_t g = 0; g < lo_.size(); ++g)
-    delays[g] = fixed_[g] ? lo_[g] : rng.next_double(lo_[g], hi_[g]);
+  std::vector<double> delays;
+  sample_into(rng, delays);
   return delays;
+}
+
+void DelaySpace::sample_into(Rng& rng, std::vector<double>& out) const {
+  out.resize(lo_.size());
+  for (std::size_t g = 0; g < lo_.size(); ++g)
+    out[g] = fixed_[g] ? lo_[g] : rng.next_double(lo_[g], hi_[g]);
 }
 
 }  // namespace nshot::sim

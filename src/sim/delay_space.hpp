@@ -39,6 +39,9 @@ class DelaySpace {
   /// simulator's internal sampler, so Simulator(seed) and
   /// DelaySpace::sample(Rng(seed)) agree gate by gate.
   std::vector<double> sample(Rng& rng) const;
+  /// Same draw sequence, writing into `out` (resized; capacity reused by
+  /// resettable simulators that sample once per trial).
+  void sample_into(Rng& rng, std::vector<double>& out) const;
 
   /// Search bounds stretched beyond the library interval by `factor` >= 1
   /// (the delay-outlier fault model: a marginal cell slower/faster than

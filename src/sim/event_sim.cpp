@@ -2,13 +2,11 @@
 
 #include <algorithm>
 
-#include "sim/delay_space.hpp"
 #include "util/error.hpp"
 
 namespace nshot::sim {
 
 using gatelib::GateType;
-using netlist::Gate;
 using netlist::GateId;
 using netlist::NetId;
 
@@ -16,51 +14,73 @@ namespace {
 constexpr double kTimeEps = 1e-9;
 }
 
+Simulator::Simulator(const CompiledNetlist& compiled, const SimulatorOptions& options)
+    : compiled_(&compiled), rng_(options.seed) {
+  reset(options);
+}
+
 Simulator::Simulator(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib,
                      const SimulatorOptions& options)
-    : netlist_(netlist), lib_(lib), rng_(options.seed), max_events_(options.max_events) {
-  const std::size_t num_nets = static_cast<std::size_t>(netlist.num_nets());
-  values_.assign(num_nets, false);
-  projected_.assign(num_nets, false);
-  forced_.assign(num_nets, false);
+    : compiled_(nullptr), owned_(std::make_unique<CompiledNetlist>(netlist, lib)),
+      rng_(options.seed) {
+  compiled_ = owned_.get();
+  reset(options);
+}
+
+void Simulator::reset(const SimulatorOptions& options) {
+  const std::size_t num_nets = static_cast<std::size_t>(compiled_->num_nets());
+  const std::size_t num_gates = static_cast<std::size_t>(compiled_->num_gates());
+  rng_ = Rng(options.seed);
+  omega_ = compiled_->lib().mhs_threshold();
+  tau_ = compiled_->lib().mhs_response();
+  max_events_ = options.max_events;
+  values_.assign(num_nets, 0);
+  projected_.assign(num_nets, 0);
+  forced_.assign(num_nets, 0);
   toggles_.assign(num_nets, 0);
-  fanout_.assign(num_nets, {});
-  mhs_.assign(static_cast<std::size_t>(netlist.num_gates()), {});
-  inertial_.assign(static_cast<std::size_t>(netlist.num_gates()), {});
+  mhs_.assign(num_gates, MhsState{});
+  inertial_.assign(num_gates, InertialState{});
+  events_.clear();
+  next_seq_ = 0;
+  events_processed_ = 0;
+  budget_exhausted_ = false;
+  mhs_absorbed_ = 0;
+  now_ = 0.0;
+  initialized_ = false;
+  observer_ = {};
 
-  for (GateId g = 0; g < netlist.num_gates(); ++g)
-    for (const NetId in : netlist.gate(g).inputs) fanout_[static_cast<std::size_t>(in)].push_back(g);
-
-  const DelaySpace space(netlist, lib);
+  // Delay assignment: exactly the draw sequence a fresh construction makes
+  // (the seed identifies the same delay vector everywhere).
   if (!options.explicit_delays.empty()) {
-    NSHOT_REQUIRE(options.explicit_delays.size() == static_cast<std::size_t>(netlist.num_gates()),
+    NSHOT_REQUIRE(options.explicit_delays.size() == num_gates,
                   "explicit_delays must hold one delay per gate");
     gate_delay_ = options.explicit_delays;
   } else if (options.randomize_delays) {
-    gate_delay_ = space.sample(rng_);
+    compiled_->delay_space().sample_into(rng_, gate_delay_);
   } else {
-    gate_delay_ = space.nominal_vector();
+    gate_delay_ = compiled_->delay_space().nominal_vector();
   }
   for (const auto& [g, delay] : options.delay_overrides) {
-    NSHOT_REQUIRE(g >= 0 && g < netlist.num_gates(), "delay override on unknown gate");
+    NSHOT_REQUIRE(g >= 0 && g < compiled_->num_gates(), "delay override on unknown gate");
     NSHOT_REQUIRE(delay >= 0.0, "delay override must be non-negative");
     gate_delay_[static_cast<std::size_t>(g)] = delay;
   }
 }
 
-bool Simulator::eval_combinational(const Gate& gate) const {
+bool Simulator::eval_combinational(const CompiledGate& gate) const {
+  const CompiledNetlist& cn = *compiled_;
   auto in = [&](std::size_t i) {
-    const bool v = values_[static_cast<std::size_t>(gate.inputs[i])];
-    return gate.input_inverted(i) ? !v : v;
+    const bool v = values_[static_cast<std::size_t>(cn.input(gate, i))] != 0;
+    return cn.input_inverted(gate, i) ? !v : v;
   };
   switch (gate.type) {
     case GateType::kAnd: {
-      for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+      for (std::size_t i = 0; i < gate.num_inputs; ++i)
         if (!in(i)) return false;
       return true;
     }
     case GateType::kOr: {
-      for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+      for (std::size_t i = 0; i < gate.num_inputs; ++i)
         if (in(i)) return true;
       return false;
     }
@@ -74,17 +94,17 @@ bool Simulator::eval_combinational(const Gate& gate) const {
       const bool s = in(0), r = in(1);
       if (s) return true;  // set dominant
       if (r) return false;
-      return values_[static_cast<std::size_t>(gate.outputs[0])];
+      return values_[static_cast<std::size_t>(gate.out0)] != 0;
     }
     case GateType::kCElement: {
       bool all_one = true, all_zero = true;
-      for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      for (std::size_t i = 0; i < gate.num_inputs; ++i) {
         if (in(i)) all_zero = false;
         else all_one = false;
       }
       if (all_one) return true;
       if (all_zero) return false;
-      return values_[static_cast<std::size_t>(gate.outputs[0])];
+      return values_[static_cast<std::size_t>(gate.out0)] != 0;
     }
     case GateType::kMhsFlipFlop:
       NSHOT_ASSERT(false, "MHS flip-flop is not a combinational gate");
@@ -95,43 +115,50 @@ bool Simulator::eval_combinational(const Gate& gate) const {
 void Simulator::initialize(const std::vector<std::pair<NetId, bool>>& fixed_values) {
   NSHOT_REQUIRE(!initialized_, "initialize must be called exactly once");
   initialized_ = true;
+  const netlist::Netlist& netlist = compiled_->netlist();
 
-  std::vector<bool> is_source(static_cast<std::size_t>(netlist_.num_nets()), false);
+  std::vector<std::uint8_t> is_source(static_cast<std::size_t>(compiled_->num_nets()), 0);
   for (const auto& [net, value] : fixed_values) {
-    values_[static_cast<std::size_t>(net)] = value;
-    is_source[static_cast<std::size_t>(net)] = true;
+    values_[static_cast<std::size_t>(net)] = value ? 1 : 0;
+    is_source[static_cast<std::size_t>(net)] = 1;
   }
 
   // Combinational settle: evaluate non-storage gates in dependency order.
   std::vector<GateId> pending;
-  for (GateId g = 0; g < netlist_.num_gates(); ++g) {
-    const Gate& gate = netlist_.gate(g);
+  for (GateId g = 0; g < compiled_->num_gates(); ++g) {
+    const CompiledGate& gate = compiled_->gate(g);
     if (gatelib::is_storage(gate.type) || gate.feedback_cut) {
-      for (const NetId out : gate.outputs)
-        NSHOT_REQUIRE(is_source[static_cast<std::size_t>(out)],
-                      "initialize: storage output " + netlist_.net_name(out) +
+      NSHOT_REQUIRE(is_source[static_cast<std::size_t>(gate.out0)],
+                    "initialize: storage output " + netlist.net_name(gate.out0) +
+                        " needs an initial value");
+      if (gate.out1 >= 0)
+        NSHOT_REQUIRE(is_source[static_cast<std::size_t>(gate.out1)],
+                      "initialize: storage output " + netlist.net_name(gate.out1) +
                           " needs an initial value");
     } else {
       pending.push_back(g);
     }
   }
-  std::vector<bool> net_known = is_source;
-  for (const NetId pi : netlist_.primary_inputs()) net_known[static_cast<std::size_t>(pi)] = true;
+  std::vector<std::uint8_t> net_known = is_source;
+  for (const NetId pi : netlist.primary_inputs()) net_known[static_cast<std::size_t>(pi)] = 1;
   bool progress = true;
   while (progress && !pending.empty()) {
     progress = false;
     std::vector<GateId> still;
     for (const GateId g : pending) {
-      const Gate& gate = netlist_.gate(g);
-      const bool ready = std::all_of(gate.inputs.begin(), gate.inputs.end(), [&](NetId in) {
-        return net_known[static_cast<std::size_t>(in)];
-      });
+      const CompiledGate& gate = compiled_->gate(g);
+      bool ready = true;
+      for (std::size_t i = 0; i < gate.num_inputs; ++i)
+        if (!net_known[static_cast<std::size_t>(compiled_->input(gate, i))]) {
+          ready = false;
+          break;
+        }
       if (!ready) {
         still.push_back(g);
         continue;
       }
-      values_[static_cast<std::size_t>(gate.outputs[0])] = eval_combinational(gate);
-      net_known[static_cast<std::size_t>(gate.outputs[0])] = true;
+      values_[static_cast<std::size_t>(gate.out0)] = eval_combinational(gate) ? 1 : 0;
+      net_known[static_cast<std::size_t>(gate.out0)] = 1;
       progress = true;
     }
     pending = std::move(still);
@@ -140,15 +167,16 @@ void Simulator::initialize(const std::vector<std::pair<NetId, bool>>& fixed_valu
   projected_ = values_;
 
   // Arm storage elements that are excited in the initial state.
-  for (GateId g = 0; g < netlist_.num_gates(); ++g) {
-    const Gate& gate = netlist_.gate(g);
+  for (GateId g = 0; g < compiled_->num_gates(); ++g) {
+    const CompiledGate& gate = compiled_->gate(g);
     if (gate.type == GateType::kMhsFlipFlop) {
       handle_mhs_input(g);
     } else if (gatelib::is_storage(gate.type) || gate.feedback_cut) {
-      const bool target = gate.feedback_cut ? values_[static_cast<std::size_t>(gate.inputs[0])]
-                                            : eval_combinational(gate);
-      if (target != projected_[static_cast<std::size_t>(gate.outputs[0])])
-        schedule_net(gate.outputs[0], target, gate_delay_[static_cast<std::size_t>(g)]);
+      const bool target =
+          gate.feedback_cut ? values_[static_cast<std::size_t>(compiled_->input(gate, 0))] != 0
+                            : eval_combinational(gate);
+      if (target != (projected_[static_cast<std::size_t>(gate.out0)] != 0))
+        schedule_net(gate.out0, target, gate_delay_[static_cast<std::size_t>(g)]);
     }
   }
 }
@@ -163,48 +191,49 @@ void Simulator::schedule_net(NetId net, bool value, double time, std::uint64_t g
   // dropped at commit time: scheduling it would corrupt the projected view
   // (release_net re-derives the driver value from scratch).
   if (forced_[static_cast<std::size_t>(net)]) return;
-  if (generation == 0 && projected_[static_cast<std::size_t>(net)] == value) return;
-  projected_[static_cast<std::size_t>(net)] = value;
+  if (generation == 0 && (projected_[static_cast<std::size_t>(net)] != 0) == value) return;
+  projected_[static_cast<std::size_t>(net)] = value ? 1 : 0;
   events_.push(Event{time, next_seq_++, EventKind::kNetChange, net, value, generation});
 }
 
 void Simulator::commit_net(NetId net, bool value, bool forced_commit) {
   if (forced_[static_cast<std::size_t>(net)] && !forced_commit) return;
-  if (values_[static_cast<std::size_t>(net)] == value) return;
-  values_[static_cast<std::size_t>(net)] = value;
+  if ((values_[static_cast<std::size_t>(net)] != 0) == value) return;
+  values_[static_cast<std::size_t>(net)] = value ? 1 : 0;
   ++toggles_[static_cast<std::size_t>(net)];
   if (observer_) observer_(net, value, now_);
-  for (const GateId g : fanout_[static_cast<std::size_t>(net)]) evaluate_gate(g);
+  for (const GateId g : compiled_->fanout(net)) evaluate_gate(g);
 }
 
 void Simulator::force_net(NetId net, bool value) {
   NSHOT_REQUIRE(initialized_, "initialize the simulator before forcing nets");
-  forced_[static_cast<std::size_t>(net)] = true;
+  forced_[static_cast<std::size_t>(net)] = 1;
   // Pin both the committed and projected views: pending driver events for
   // this net still pop but commit_net drops them while the force holds.
-  projected_[static_cast<std::size_t>(net)] = value;
+  projected_[static_cast<std::size_t>(net)] = value ? 1 : 0;
   commit_net(net, value, /*forced_commit=*/true);
 }
 
 void Simulator::release_net(NetId net) {
   NSHOT_REQUIRE(initialized_, "initialize the simulator before releasing nets");
-  NSHOT_REQUIRE(forced_[static_cast<std::size_t>(net)], "release_net on a net that is not forced");
-  forced_[static_cast<std::size_t>(net)] = false;
+  NSHOT_REQUIRE(forced_[static_cast<std::size_t>(net)] != 0,
+                "release_net on a net that is not forced");
+  forced_[static_cast<std::size_t>(net)] = 0;
   // Restore the driver's present output immediately (zero-delay snap-back —
   // the fault, not the gate, owned the transition).  Storage drivers cannot
   // be re-evaluated combinationally, so forcing is restricted to simple
   // gates and driverless nets.
-  const auto driver = netlist_.driver(net);
-  bool restored = values_[static_cast<std::size_t>(net)];
-  if (driver.has_value()) {
-    const Gate& gate = netlist_.gate(*driver);
+  const GateId driver = compiled_->driver(net);
+  bool restored = values_[static_cast<std::size_t>(net)] != 0;
+  if (driver >= 0) {
+    const CompiledGate& gate = compiled_->gate(driver);
     NSHOT_REQUIRE(gate.type == GateType::kAnd || gate.type == GateType::kOr ||
                       gate.type == GateType::kInv || gate.type == GateType::kBuf,
-                  "release_net: net " + netlist_.net_name(net) +
+                  "release_net: net " + compiled_->netlist().net_name(net) +
                       " is driven by a non-combinational gate");
     restored = eval_combinational(gate);
   }
-  projected_[static_cast<std::size_t>(net)] = restored;
+  projected_[static_cast<std::size_t>(net)] = restored ? 1 : 0;
   commit_net(net, restored, /*forced_commit=*/true);
 }
 
@@ -217,24 +246,24 @@ void Simulator::advance_time(double t) {
 }
 
 void Simulator::evaluate_gate(GateId g) {
-  const Gate& gate = netlist_.gate(g);
+  const CompiledGate& gate = compiled_->gate(g);
   switch (gate.type) {
     case GateType::kMhsFlipFlop:
       handle_mhs_input(g);
       return;
     case GateType::kInertialDelay: {
       InertialState& st = inertial_[static_cast<std::size_t>(g)];
-      const NetId out = gate.outputs[0];
-      const bool v = values_[static_cast<std::size_t>(gate.inputs[0])];
+      const NetId out = gate.out0;
+      const bool v = values_[static_cast<std::size_t>(compiled_->input(gate, 0))] != 0;
       if (st.has_pending) {  // cancel the scheduled (conflicting) change
         ++st.generation;
         st.has_pending = false;
         projected_[static_cast<std::size_t>(out)] = values_[static_cast<std::size_t>(out)];
       }
-      if (values_[static_cast<std::size_t>(out)] != v) {
+      if ((values_[static_cast<std::size_t>(out)] != 0) != v) {
         st.has_pending = true;
         st.pending_value = v;
-        projected_[static_cast<std::size_t>(out)] = v;
+        projected_[static_cast<std::size_t>(out)] = v ? 1 : 0;
         events_.push(Event{now_ + gate_delay_[static_cast<std::size_t>(g)], next_seq_++,
                            EventKind::kNetChange, out, v, st.generation + 1});
       }
@@ -242,26 +271,26 @@ void Simulator::evaluate_gate(GateId g) {
     }
     default: {
       const bool v = eval_combinational(gate);
-      schedule_net(gate.outputs[0], v, now_ + gate_delay_[static_cast<std::size_t>(g)]);
+      schedule_net(gate.out0, v, now_ + gate_delay_[static_cast<std::size_t>(g)]);
       return;
     }
   }
 }
 
 void Simulator::handle_mhs_input(GateId g) {
-  const Gate& gate = netlist_.gate(g);
+  const CompiledGate& gate = compiled_->gate(g);
   MhsState& st = mhs_[static_cast<std::size_t>(g)];
-  NSHOT_ASSERT(gate.inputs.size() == 4,
+  NSHOT_ASSERT(gate.num_inputs == 4,
                "MHS cell expects inputs {set, reset, enable_set, enable_reset}");
   // The acknowledgement AND gates are part of the cell (Figure 5): the
   // effective excitations gate the SOP outputs with the enable rails.
-  const bool set = values_[static_cast<std::size_t>(gate.inputs[0])] &&
-                   values_[static_cast<std::size_t>(gate.inputs[2])];
-  const bool reset = values_[static_cast<std::size_t>(gate.inputs[1])] &&
-                     values_[static_cast<std::size_t>(gate.inputs[3])];
-  const bool q_projected = projected_[static_cast<std::size_t>(gate.outputs[0])];
+  const bool set = values_[static_cast<std::size_t>(compiled_->input(gate, 0))] &&
+                   values_[static_cast<std::size_t>(compiled_->input(gate, 2))];
+  const bool reset = values_[static_cast<std::size_t>(compiled_->input(gate, 1))] &&
+                     values_[static_cast<std::size_t>(compiled_->input(gate, 3))];
+  const bool q_projected = projected_[static_cast<std::size_t>(gate.out0)] != 0;
 
-  const double omega = lib_.mhs_threshold();
+  const double omega = omega_;
   if (set && st.set_rise < 0.0) {
     st.set_rise = now_;
     if (!q_projected)
@@ -272,9 +301,9 @@ void Simulator::handle_mhs_input(GateId g) {
     // been processed yet (exact-width boundary); shorter pulses are
     // absorbed.
     if (now_ + kTimeEps >= st.set_rise + omega && !q_projected) {
-      const double fire = st.set_rise + lib_.mhs_response();
-      schedule_net(gate.outputs[0], true, fire);
-      schedule_net(gate.outputs[1], false, fire);
+      const double fire = st.set_rise + tau_;
+      schedule_net(gate.out0, true, fire);
+      schedule_net(gate.out1, false, fire);
     } else if (!q_projected) {
       ++mhs_absorbed_;  // sub-threshold pulse filtered by the master stage
     }
@@ -288,9 +317,9 @@ void Simulator::handle_mhs_input(GateId g) {
                          /*value=reset side*/ false, 0});
   } else if (!reset && st.reset_rise >= 0.0) {
     if (now_ + kTimeEps >= st.reset_rise + omega && q_projected) {
-      const double fire = st.reset_rise + lib_.mhs_response();
-      schedule_net(gate.outputs[0], false, fire);
-      schedule_net(gate.outputs[1], true, fire);
+      const double fire = st.reset_rise + tau_;
+      schedule_net(gate.out0, false, fire);
+      schedule_net(gate.out1, true, fire);
     } else if (q_projected) {
       ++mhs_absorbed_;
     }
@@ -299,27 +328,27 @@ void Simulator::handle_mhs_input(GateId g) {
 }
 
 void Simulator::handle_mhs_probe(GateId g, bool probing_set) {
-  const Gate& gate = netlist_.gate(g);
+  const CompiledGate& gate = compiled_->gate(g);
   MhsState& st = mhs_[static_cast<std::size_t>(g)];
-  const NetId q = gate.outputs[0];
-  const NetId qb = gate.outputs[1];
+  const NetId q = gate.out0;
+  const NetId qb = gate.out1;
   // Re-read on pop: the excitation must have been continuously high for ω
   // (any intermediate fall resets *_rise, so the window check suffices).
   if (probing_set) {
-    const bool set = values_[static_cast<std::size_t>(gate.inputs[0])] &&
-                     values_[static_cast<std::size_t>(gate.inputs[2])];
-    if (set && st.set_rise >= 0.0 && now_ + kTimeEps >= st.set_rise + lib_.mhs_threshold() &&
+    const bool set = values_[static_cast<std::size_t>(compiled_->input(gate, 0))] &&
+                     values_[static_cast<std::size_t>(compiled_->input(gate, 2))];
+    if (set && st.set_rise >= 0.0 && now_ + kTimeEps >= st.set_rise + omega_ &&
         !projected_[static_cast<std::size_t>(q)]) {
-      const double fire = st.set_rise + lib_.mhs_response();
+      const double fire = st.set_rise + tau_;
       schedule_net(q, true, fire);
       schedule_net(qb, false, fire);
     }
   } else {
-    const bool reset = values_[static_cast<std::size_t>(gate.inputs[1])] &&
-                       values_[static_cast<std::size_t>(gate.inputs[3])];
-    if (reset && st.reset_rise >= 0.0 && now_ + kTimeEps >= st.reset_rise + lib_.mhs_threshold() &&
+    const bool reset = values_[static_cast<std::size_t>(compiled_->input(gate, 1))] &&
+                       values_[static_cast<std::size_t>(compiled_->input(gate, 3))];
+    if (reset && st.reset_rise >= 0.0 && now_ + kTimeEps >= st.reset_rise + omega_ &&
         projected_[static_cast<std::size_t>(q)]) {
-      const double fire = st.reset_rise + lib_.mhs_response();
+      const double fire = st.reset_rise + tau_;
       schedule_net(q, false, fire);
       schedule_net(qb, true, fire);
     }
@@ -345,11 +374,11 @@ bool Simulator::step() {
 
   // Cancelled inertial events carry a stale generation.
   if (event.generation != 0) {
-    const auto driver = netlist_.driver(event.target);
-    NSHOT_ASSERT(driver.has_value(), "generation event on undriven net");
-    const InertialState& st = inertial_[static_cast<std::size_t>(*driver)];
+    const GateId driver = compiled_->driver(event.target);
+    NSHOT_ASSERT(driver >= 0, "generation event on undriven net");
+    const InertialState& st = inertial_[static_cast<std::size_t>(driver)];
     if (!st.has_pending || event.generation != st.generation + 1) return true;  // stale
-    inertial_[static_cast<std::size_t>(*driver)].has_pending = false;
+    inertial_[static_cast<std::size_t>(driver)].has_pending = false;
   }
   commit_net(event.target, event.value);
   return true;

@@ -18,13 +18,21 @@
 //    excitation pulse shorter than the threshold ω is absorbed; a pulse of
 //    width >= ω fires the output translated forward by τ.  Set pulses are
 //    ignored while the output is already 1, reset pulses while it is 0.
+//
+// Trials run against a CompiledNetlist (sim/compiled_netlist.hpp): the
+// seed-independent setup — CSR fanout, packed gates, driver table, delay
+// bounds — is built once and shared, and `reset()` returns a simulator to
+// its freshly-constructed state without reallocating, so sweeps pay only
+// the per-seed work (delay sampling + the run itself) per trial.
 #pragma once
 
+#include <algorithm>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "util/rng.hpp"
 
 namespace nshot::sim {
@@ -53,8 +61,22 @@ using NetObserver = std::function<void(netlist::NetId, bool value, double time)>
 
 class Simulator {
  public:
+  /// Run against a pre-compiled netlist (the caller keeps it alive for the
+  /// simulator's lifetime).  This is the hot-path constructor: the sweeps
+  /// compile once per campaign and reset() the simulator per trial.
+  Simulator(const CompiledNetlist& compiled, const SimulatorOptions& options);
+
+  /// Convenience constructor compiling the netlist privately — identical
+  /// behaviour, pays the compile on every construction.  Also the
+  /// reference path bench_kernels measures the compiled layer against.
   Simulator(const netlist::Netlist& netlist, const gatelib::GateLibrary& lib,
             const SimulatorOptions& options);
+
+  /// Return to the freshly-constructed state under new options: re-seed
+  /// the RNG, resample/replace the delay vector, drop all pending events
+  /// and observers.  All arena storage (event heap, per-net and per-gate
+  /// arrays) keeps its capacity.  initialize() must be called again.
+  void reset(const SimulatorOptions& options);
 
   /// Set the initial value of specific nets (primary inputs and storage
   /// outputs), then propagate through the combinational gates and arm any
@@ -73,7 +95,9 @@ class Simulator {
   /// propagate through the fanout like any net change.
   void force_net(netlist::NetId net, bool value);
   void release_net(netlist::NetId net);
-  bool is_forced(netlist::NetId net) const { return forced_[static_cast<std::size_t>(net)]; }
+  bool is_forced(netlist::NetId net) const {
+    return forced_[static_cast<std::size_t>(net)] != 0;
+  }
 
   /// Advance the simulation clock to `t` without processing events; `t`
   /// must not lie in the past or beyond the next pending event.  Lets a
@@ -93,7 +117,9 @@ class Simulator {
   bool has_pending_events() const { return !events_.empty(); }
   double next_event_time() const;
 
-  bool value(netlist::NetId net) const { return values_[static_cast<std::size_t>(net)]; }
+  bool value(netlist::NetId net) const {
+    return values_[static_cast<std::size_t>(net)] != 0;
+  }
   /// Number of committed value changes of a net since initialization.
   long toggle_count(netlist::NetId net) const {
     return toggles_[static_cast<std::size_t>(net)];
@@ -114,7 +140,8 @@ class Simulator {
   /// step() then refuses to process further events.
   bool budget_exhausted() const { return budget_exhausted_; }
 
-  const netlist::Netlist& circuit() const { return netlist_; }
+  const netlist::Netlist& circuit() const { return compiled_->netlist(); }
+  const CompiledNetlist& compiled() const { return *compiled_; }
 
  private:
   enum class EventKind { kNetChange, kMhsProbe };
@@ -133,6 +160,28 @@ class Simulator {
     }
   };
 
+  /// Arena-backed binary min-heap on (time, seq).  The comparator is total
+  /// (seq is unique), so pop order — and therefore every simulation — is
+  /// identical to the std::priority_queue it replaces; clear() keeps the
+  /// arena's capacity across reset().
+  class EventQueue {
+   public:
+    bool empty() const { return heap_.empty(); }
+    const Event& top() const { return heap_.front(); }
+    void push(const Event& e) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+    }
+    void pop() {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+      heap_.pop_back();
+    }
+    void clear() { heap_.clear(); }
+
+   private:
+    std::vector<Event> heap_;
+  };
+
   struct MhsState {
     double set_rise = -1.0;    // time the (gated) set input last rose; -1 = low
     double reset_rise = -1.0;
@@ -149,22 +198,23 @@ class Simulator {
   void schedule_net(netlist::NetId net, bool value, double time, std::uint64_t generation = 0);
   void commit_net(netlist::NetId net, bool value, bool forced_commit = false);
   void evaluate_gate(netlist::GateId g);
-  bool eval_combinational(const netlist::Gate& gate) const;
+  bool eval_combinational(const CompiledGate& gate) const;
   void handle_mhs_input(netlist::GateId g);
   void handle_mhs_probe(netlist::GateId g, bool probing_set);
 
-  const netlist::Netlist& netlist_;
-  const gatelib::GateLibrary& lib_;
+  const CompiledNetlist* compiled_;
+  std::unique_ptr<const CompiledNetlist> owned_;  // compat-constructor storage
   Rng rng_;
-  std::vector<double> gate_delay_;        // sampled per gate
-  std::vector<bool> values_;              // committed net values
-  std::vector<bool> projected_;           // value after all pending events
-  std::vector<bool> forced_;              // nets pinned by force_net
+  double omega_;                           // lib().mhs_threshold()
+  double tau_;                             // lib().mhs_response()
+  std::vector<double> gate_delay_;         // sampled per gate
+  std::vector<std::uint8_t> values_;       // committed net values
+  std::vector<std::uint8_t> projected_;    // value after all pending events
+  std::vector<std::uint8_t> forced_;       // nets pinned by force_net
   std::vector<long> toggles_;
-  std::vector<std::vector<netlist::GateId>> fanout_;  // net -> reader gates
-  std::vector<MhsState> mhs_;             // per gate (only MHS entries used)
-  std::vector<InertialState> inertial_;   // per gate (only inertial entries used)
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<MhsState> mhs_;              // per gate (only MHS entries used)
+  std::vector<InertialState> inertial_;    // per gate (only inertial entries used)
+  EventQueue events_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t max_events_ = 0;
   std::uint64_t events_processed_ = 0;

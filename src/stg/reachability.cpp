@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <map>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -9,6 +10,27 @@ namespace nshot::stg {
 namespace {
 
 using Marking = std::vector<std::uint64_t>;  // bit-packed place marking
+
+/// FNV/splitmix-style mix over the packed marking words.
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint64_t word : m) {
+      h = (h ^ word) * 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Ordered reference map and hashed hot-path map over markings.  Every
+/// traversal below is queue-driven (maps are only consulted for
+/// membership and id lookup), so the two instantiations are
+/// output-identical; `ReachabilityOptions::reference_maps` picks one.
+template <typename Value>
+using OrderedMarkingMap = std::map<Marking, Value>;
+template <typename Value>
+using HashedMarkingMap = std::unordered_map<Marking, Value, MarkingHash>;
 
 Marking pack(const std::vector<bool>& marking) {
   Marking packed((marking.size() + 63) / 64, 0);
@@ -52,9 +74,10 @@ Marking fire(const Stg& stg, const Marking& m, TransitionId t) {
 /// closure over all firing orders must converge on a single
 /// dummy-quiescent marking (confusion-free dummies); anything else is
 /// rejected, as is a cycle of dummies.
+template <template <typename> class MapT>
 Marking saturate_dummies(const Stg& stg, Marking m) {
   if (!stg.has_dummies()) return m;
-  std::map<Marking, bool> seen;
+  MapT<bool> seen;
   std::deque<Marking> queue;
   std::vector<Marking> quiescent;
   seen.emplace(m, true);
@@ -78,9 +101,8 @@ Marking saturate_dummies(const Stg& stg, Marking m) {
   return quiescent.front();
 }
 
-}  // namespace
-
-std::vector<bool> infer_initial_values(const Stg& stg, const ReachabilityOptions& options) {
+template <template <typename> class MapT>
+std::vector<bool> infer_initial_values_impl(const Stg& stg, const ReachabilityOptions& options) {
   const int n = stg.num_signals();
   std::vector<std::optional<bool>> values = stg.declared_initial_values();
   int unresolved = 0;
@@ -91,7 +113,7 @@ std::vector<bool> infer_initial_values(const Stg& stg, const ReachabilityOptions
     // BFS over markings; the first edge labelled with signal x (popping
     // markings in BFS order) is a first firing of x on some path, so its
     // polarity determines the initial value.
-    std::map<Marking, bool> seen;
+    MapT<bool> seen;
     std::deque<Marking> queue;
     const Marking initial = pack(stg.initial_marking());
     seen.emplace(initial, true);
@@ -128,9 +150,11 @@ std::vector<bool> infer_initial_values(const Stg& stg, const ReachabilityOptions
   return result;
 }
 
-std::vector<TransitionId> dead_transitions(const Stg& stg, const ReachabilityOptions& options) {
+template <template <typename> class MapT>
+std::vector<TransitionId> dead_transitions_impl(const Stg& stg,
+                                                const ReachabilityOptions& options) {
   std::vector<bool> fired(static_cast<std::size_t>(stg.num_transitions()), false);
-  std::map<Marking, bool> seen;
+  MapT<bool> seen;
   std::deque<Marking> queue;
   const Marking initial = pack(stg.initial_marking());
   seen.emplace(initial, true);
@@ -154,8 +178,9 @@ std::vector<TransitionId> dead_transitions(const Stg& stg, const ReachabilityOpt
   return dead;
 }
 
-sg::StateGraph build_state_graph(const Stg& stg, const ReachabilityOptions& options) {
-  const std::vector<bool> initial_values = infer_initial_values(stg, options);
+template <template <typename> class MapT>
+sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions& options) {
+  const std::vector<bool> initial_values = infer_initial_values_impl<MapT>(stg, options);
 
   sg::StateGraph graph(stg.name());
   for (int i = 0; i < stg.num_signals(); ++i) {
@@ -169,9 +194,9 @@ sg::StateGraph build_state_graph(const Stg& stg, const ReachabilityOptions& opti
   for (std::size_t i = 0; i < initial_values.size(); ++i)
     if (initial_values[i]) initial_code |= (1ULL << i);
 
-  std::map<Marking, sg::StateId> ids;
+  MapT<sg::StateId> ids;
   std::deque<Marking> queue;
-  const Marking initial = saturate_dummies(stg, pack(stg.initial_marking()));
+  const Marking initial = saturate_dummies<MapT>(stg, pack(stg.initial_marking()));
   ids.emplace(initial, graph.add_state(initial_code));
   graph.set_initial(0);
   queue.push_back(initial);
@@ -193,7 +218,7 @@ sg::StateGraph build_state_graph(const Stg& stg, const ReachabilityOptions& opti
                         (tr.rising ? "1" : "0"));
       const std::uint64_t next_code = tr.rising ? (code | bit) : (code & ~bit);
 
-      Marking next = saturate_dummies(stg, fire(stg, m, t));
+      Marking next = saturate_dummies<MapT>(stg, fire(stg, m, t));
       const auto [it, inserted] = ids.emplace(std::move(next), -1);
       if (inserted) {
         NSHOT_REQUIRE(ids.size() <= options.max_states,
@@ -218,6 +243,23 @@ sg::StateGraph build_state_graph(const Stg& stg, const ReachabilityOptions& opti
     }
   }
   return graph;
+}
+
+}  // namespace
+
+std::vector<bool> infer_initial_values(const Stg& stg, const ReachabilityOptions& options) {
+  return options.reference_maps ? infer_initial_values_impl<OrderedMarkingMap>(stg, options)
+                                : infer_initial_values_impl<HashedMarkingMap>(stg, options);
+}
+
+std::vector<TransitionId> dead_transitions(const Stg& stg, const ReachabilityOptions& options) {
+  return options.reference_maps ? dead_transitions_impl<OrderedMarkingMap>(stg, options)
+                                : dead_transitions_impl<HashedMarkingMap>(stg, options);
+}
+
+sg::StateGraph build_state_graph(const Stg& stg, const ReachabilityOptions& options) {
+  return options.reference_maps ? build_state_graph_impl<OrderedMarkingMap>(stg, options)
+                                : build_state_graph_impl<HashedMarkingMap>(stg, options);
 }
 
 }  // namespace nshot::stg

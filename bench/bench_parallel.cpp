@@ -45,6 +45,7 @@ std::string conformance_fingerprint(const sim::ConformanceReport& r) {
 
 struct CaseTiming {
   std::string name;
+  int states = 0, signals = 0;
   double conf_serial_ms = 0, conf_parallel_ms = 0;
   double stress_serial_ms = 0, stress_parallel_ms = 0;
   bool identical = false;
@@ -69,6 +70,8 @@ CaseTiming measure(const std::string& name, int parallel_jobs, bool smoke) {
 
   CaseTiming timing;
   timing.name = name;
+  timing.states = g.num_states();
+  timing.signals = g.num_signals();
 
   conf.jobs = 1;
   auto t0 = Clock::now();
@@ -144,7 +147,9 @@ int main(int argc, char** argv) {
        << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const CaseTiming& t = timings[i];
-    json << "    {\"name\": \"" << t.name << "\", \"conformance_serial_ms\": " << t.conf_serial_ms
+    json << "    {\"name\": \"" << t.name << "\", \"states\": " << t.states
+         << ", \"signals\": " << t.signals << ", \"hardware_concurrency\": " << hardware
+         << ", \"conformance_serial_ms\": " << t.conf_serial_ms
          << ", \"conformance_parallel_ms\": " << t.conf_parallel_ms
          << ", \"stress_serial_ms\": " << t.stress_serial_ms
          << ", \"stress_parallel_ms\": " << t.stress_parallel_ms << "}"

@@ -17,8 +17,14 @@ struct VerifyResult {
 };
 
 /// Check that every on-minterm of every output is covered and that no cube
-/// of the cover intersects the off-set of an output it feeds.
+/// of the cover intersects the off-set of an output it feeds.  Evaluated
+/// bit-sliced (logic/bitslice.hpp): per-cube literal masks word-parallel
+/// against the packed minterm codes.
 VerifyResult verify_cover(const TwoLevelSpec& spec, const Cover& cover);
+
+/// Original minterm-at-a-time implementation of verify_cover, kept
+/// compiled in as the byte-equality oracle for the bit-sliced fast path.
+VerifyResult verify_cover_reference(const TwoLevelSpec& spec, const Cover& cover);
 
 /// Check that no cube can be removed without losing an on-minterm.
 VerifyResult verify_irredundant(const TwoLevelSpec& spec, const Cover& cover);

@@ -1,5 +1,6 @@
 #include "nshot/spec_derivation.hpp"
 
+#include "sg/bitset.hpp"
 #include "util/error.hpp"
 
 namespace nshot::core {
@@ -41,10 +42,19 @@ DerivedSpec derive_spec(const sg::StateGraph& sg) {
     derived.outputs.push_back(OutputIndex{noninputs[k], static_cast<int>(2 * k),
                                           static_cast<int>(2 * k + 1)});
 
+  // One edge sweep builds every signal's excitation plane; the per-state
+  // classification below then probes bits instead of rescanning out-edges
+  // per (state, signal) pair.  Identical classification, identical order.
+  const std::vector<sg::StateSet> excited = sg::all_excited_sets(sg);
   for (sg::StateId s = 0; s < sg.num_states(); ++s) {
     const std::uint64_t code = sg.code(s);
     for (const OutputIndex& index : derived.outputs) {
-      switch (classify_state(sg, s, index.signal)) {
+      const bool value = sg.value(s, index.signal);
+      const Mode mode =
+          excited[static_cast<std::size_t>(index.signal)].contains(s)
+              ? (value ? Mode::kReset : Mode::kSet)
+              : (value ? Mode::kQuiescentHigh : Mode::kQuiescentLow);
+      switch (mode) {
         case Mode::kSet:  // SET = 1, RESET = 0
           derived.spec.add_on(index.set_output, code);
           derived.spec.add_off(index.reset_output, code);

@@ -30,7 +30,8 @@ bool has_trigger_cube(const logic::Cover& cover, int output,
 
 TriggerReport enforce_trigger_requirement(const sg::StateGraph& sg,
                                           const std::vector<sg::SignalRegions>& regions,
-                                          const DerivedSpec& derived, logic::Cover& cover) {
+                                          const DerivedSpec& derived, logic::Cover& cover,
+                                          const TriggerOptions& options) {
   TriggerReport report;
   for (const sg::SignalRegions& signal_regions : regions) {
     const OutputIndex& index = derived.for_signal(signal_regions.signal);
@@ -40,14 +41,30 @@ TriggerReport enforce_trigger_requirement(const sg::StateGraph& sg,
         std::vector<std::uint64_t> codes;
         codes.reserve(tr.size());
         for (const sg::StateId s : tr) codes.push_back(sg.code(s));
-        if (has_trigger_cube(cover, output, codes)) continue;
 
         // Minimal candidate: the supercube of the trigger region's codes.
+        // Per variable it admits exactly the values occurring in `codes`,
+        // so a cube covers every code iff it contains this supercube —
+        // which turns membership into one word-level containment test per
+        // cube instead of a cube x codes minterm scan.
         logic::Cube supercube = logic::Cube::minterm(codes.front(), sg.num_signals(), 0);
         for (std::size_t i = 1; i < codes.size(); ++i)
           supercube =
               supercube.supercube(logic::Cube::minterm(codes[i], sg.num_signals(), 0));
         supercube.set_outputs(1ULL << output);
+
+        bool covered;
+        if (options.reference_membership) {
+          covered = has_trigger_cube(cover, output, codes);
+        } else {
+          covered = false;
+          for (const logic::Cube& cube : cover)
+            if (cube.contains(supercube)) {
+              covered = true;
+              break;
+            }
+        }
+        if (covered) continue;
 
         TriggerIssue issue{signal_regions.signal, er.rising, tr, false};
         if (derived.spec.cube_valid_for_output(supercube, output)) {

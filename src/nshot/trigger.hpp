@@ -48,15 +48,23 @@ struct TriggerReport {
 };
 
 /// True if some single cube of `cover` feeding output `output` covers every
-/// code in `codes`.
+/// code in `codes`.  Code-at-a-time scan — the reference membership kernel.
 bool has_trigger_cube(const logic::Cover& cover, int output,
                       const std::vector<std::uint64_t>& codes);
+
+struct TriggerOptions {
+  // Use the code-at-a-time has_trigger_cube scan instead of the
+  // supercube-containment fast path — byte-equality oracle for
+  // tests/benches.
+  bool reference_membership = false;
+};
 
 /// Check all trigger regions of all non-input signals against `cover` and
 /// repair violations by adding supercubes where possible.  `regions` must
 /// be compute_all_regions(sg).
 TriggerReport enforce_trigger_requirement(const sg::StateGraph& sg,
                                           const std::vector<sg::SignalRegions>& regions,
-                                          const DerivedSpec& derived, logic::Cover& cover);
+                                          const DerivedSpec& derived, logic::Cover& cover,
+                                          const TriggerOptions& options = {});
 
 }  // namespace nshot::core

@@ -1,10 +1,13 @@
 #include "sg/properties.hpp"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sg/bitset.hpp"
 #include "util/error.hpp"
 
 namespace nshot::sg {
@@ -103,8 +106,14 @@ std::uint64_t excited_noninput_mask(const StateGraph& sg, StateId s) {
 
 }  // namespace
 
-PropertyReport check_csc(const StateGraph& sg) {
-  PropertyReport report;
+namespace {
+
+/// Visit CSC conflict pairs (first occurrence, conflicting state) in the
+/// order check_csc reports them: groups in ascending code order, states
+/// ascending within a group.  Shared by the string-building checker and
+/// the count-only path the CSC solver hammers, so both stay identical.
+template <typename Visitor>
+void for_each_csc_conflict(const StateGraph& sg, Visitor&& visit) {
   // Sort (code, state) pairs instead of grouping through std::map: groups
   // come out in ascending code order with states ascending within a group,
   // exactly the map iteration order, so violations list identically.
@@ -119,16 +128,23 @@ PropertyReport check_csc(const StateGraph& sg) {
     if (end - begin >= 2) {
       const StateId first = by_code[begin].second;
       const std::uint64_t reference = excited_noninput_mask(sg, first);
-      for (std::size_t i = begin + 1; i < end; ++i) {
-        if (excited_noninput_mask(sg, by_code[i].second) != reference) {
-          report.violations.push_back("CSC conflict between " + sg.state_name(first) + " and " +
-                                      sg.state_name(by_code[i].second) +
-                                      " (equal codes, different excited non-input signals)");
-        }
-      }
+      for (std::size_t i = begin + 1; i < end; ++i)
+        if (excited_noninput_mask(sg, by_code[i].second) != reference)
+          visit(first, by_code[i].second);
     }
     begin = end;
   }
+}
+
+}  // namespace
+
+PropertyReport check_csc(const StateGraph& sg) {
+  PropertyReport report;
+  for_each_csc_conflict(sg, [&](StateId first, StateId other) {
+    report.violations.push_back("CSC conflict between " + sg.state_name(first) + " and " +
+                                sg.state_name(other) +
+                                " (equal codes, different excited non-input signals)");
+  });
   return report;
 }
 
@@ -147,20 +163,74 @@ PropertyReport check_usc(const StateGraph& sg) {
   return report;
 }
 
+std::size_t count_csc_conflicts(const StateGraph& sg) {
+  std::size_t count = 0;
+  for_each_csc_conflict(sg, [&count](StateId, StateId) { ++count; });
+  return count;
+}
+
 std::vector<StateId> detonant_states(const StateGraph& sg, SignalId a) {
   NSHOT_REQUIRE(!sg.is_input(a), "detonant states are defined for non-input signals");
+  // One excitation plane of a replaces the per-state / per-successor
+  // out-edge scans: stability and successor excitation become bit probes.
+  const StateSet excited = excited_set(sg, a);
   std::vector<StateId> result;
   std::vector<StateId> exciting_successors;
   for (StateId w = 0; w < sg.num_states(); ++w) {
-    if (sg.excited(w, a)) continue;  // a must be stable in w
+    if (excited.contains(w)) continue;  // a must be stable in w
     exciting_successors.clear();
     for (const Edge& e : sg.out_edges(w))
-      if (sg.excited(e.target, a)) exciting_successors.push_back(e.target);
+      if (excited.contains(e.target)) exciting_successors.push_back(e.target);
     std::sort(exciting_successors.begin(), exciting_successors.end());
     exciting_successors.erase(
         std::unique(exciting_successors.begin(), exciting_successors.end()),
         exciting_successors.end());
     if (exciting_successors.size() >= 2) result.push_back(w);
+  }
+  return result;
+}
+
+PropertyReport check_csc_reference(const StateGraph& sg) {
+  PropertyReport report;
+  std::map<std::uint64_t, std::vector<StateId>> by_code;
+  for (StateId s = 0; s < sg.num_states(); ++s) by_code[sg.code(s)].push_back(s);
+  for (const auto& [code, states] : by_code) {
+    if (states.size() < 2) continue;
+    const std::uint64_t reference = excited_noninput_mask(sg, states[0]);
+    for (std::size_t i = 1; i < states.size(); ++i)
+      if (excited_noninput_mask(sg, states[i]) != reference)
+        report.violations.push_back("CSC conflict between " + sg.state_name(states[0]) + " and " +
+                                    sg.state_name(states[i]) +
+                                    " (equal codes, different excited non-input signals)");
+  }
+  return report;
+}
+
+PropertyReport check_usc_reference(const StateGraph& sg) {
+  PropertyReport report;
+  std::map<std::uint64_t, StateId> seen;
+  for (StateId s = 0; s < sg.num_states(); ++s) {
+    const auto [it, inserted] = seen.emplace(sg.code(s), s);
+    if (!inserted)
+      report.violations.push_back("states " + sg.state_name(it->second) + " and " +
+                                  sg.state_name(s) + " share one binary code");
+  }
+  return report;
+}
+
+std::size_t count_csc_conflicts_reference(const StateGraph& sg) {
+  return check_csc_reference(sg).violations.size();
+}
+
+std::vector<StateId> detonant_states_reference(const StateGraph& sg, SignalId a) {
+  NSHOT_REQUIRE(!sg.is_input(a), "detonant states are defined for non-input signals");
+  std::vector<StateId> result;
+  for (StateId w = 0; w < sg.num_states(); ++w) {
+    if (sg.excited(w, a)) continue;
+    std::set<StateId> exciting;
+    for (const Edge& e : sg.out_edges(w))
+      if (sg.excited(e.target, a)) exciting.insert(e.target);
+    if (exciting.size() >= 2) result.push_back(w);
   }
   return result;
 }

@@ -40,9 +40,22 @@ PropertyReport check_csc(const StateGraph& sg);
 /// reported for information only).
 PropertyReport check_usc(const StateGraph& sg);
 
+/// Number of CSC conflict pairs (== check_csc(sg).violations.size())
+/// without materializing the diagnostic strings — the CSC solver calls
+/// this in its candidate-evaluation inner loop.
+std::size_t count_csc_conflicts(const StateGraph& sg);
+
 /// Definition 3: states detonant with respect to non-input signal `a`
 /// (a stable in w, excited in two or more distinct direct successors).
 std::vector<StateId> detonant_states(const StateGraph& sg, SignalId a);
+
+/// Original ordered-container implementations, kept compiled in as
+/// byte-equality oracles for the word-parallel/sorted fast paths
+/// (see tests/kernel_equivalence_test.cpp and bench/bench_scale.cpp).
+PropertyReport check_csc_reference(const StateGraph& sg);
+PropertyReport check_usc_reference(const StateGraph& sg);
+std::size_t count_csc_conflicts_reference(const StateGraph& sg);
+std::vector<StateId> detonant_states_reference(const StateGraph& sg, SignalId a);
 
 /// Definition 4: the SG is distributive w.r.t. `a` iff no detonant states.
 bool is_distributive(const StateGraph& sg, SignalId a);

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "sg/bitset.hpp"
 #include "util/error.hpp"
 
 namespace nshot::sg {
@@ -102,35 +103,30 @@ class SccFinder {
 };
 
 /// Compute QR(*a_i): forward flood from the stable exit states of the ER.
-/// Membership is a per-state byte flag; the final sort reproduces the
-/// ascending order the reference std::set implementation iterated in.
+/// `quiescent` is the precomputed word-packed plane of states where a has
+/// the new value and is stable, so membership is a single bit probe; the
+/// ascending bit-order extraction of `in_region` reproduces the order the
+/// reference std::set implementation iterated in.
 std::vector<StateId> quiescent_of(const StateGraph& sg, SignalId a,
-                                  const std::vector<StateId>& er_states, bool rising) {
-  const bool new_value = rising;
-  std::vector<std::uint8_t> in_region(static_cast<std::size_t>(sg.num_states()), 0);
-  std::vector<StateId> region;
-  std::vector<StateId> frontier;
-  auto try_add = [&](StateId t) {
-    if (in_region[static_cast<std::size_t>(t)]) return;
-    in_region[static_cast<std::size_t>(t)] = 1;
-    region.push_back(t);
-    frontier.push_back(t);
-  };
+                                  const std::vector<StateId>& er_states, bool rising,
+                                  const StateSet& quiescent, StateSet& in_region,
+                                  std::vector<StateId>& frontier) {
+  in_region.clear();
+  frontier.clear();
   for (const StateId s : er_states) {
     const auto exit = sg.successor(s, TransitionLabel{a, rising});
     if (!exit) continue;  // arcs of other signals; the *a arc defines the exit
-    if (sg.value(*exit, a) == new_value && !sg.excited(*exit, a)) try_add(*exit);
+    if (quiescent.contains(*exit) && in_region.insert_new(*exit)) frontier.push_back(*exit);
   }
   while (!frontier.empty()) {
     const StateId s = frontier.back();
     frontier.pop_back();
     for (const Edge& e : sg.out_edges(s)) {
       const StateId t = e.target;
-      if (sg.value(t, a) == new_value && !sg.excited(t, a)) try_add(t);
+      if (quiescent.contains(t) && in_region.insert_new(t)) frontier.push_back(t);
     }
   }
-  std::sort(region.begin(), region.end());
-  return region;
+  return in_region.to_vector();
 }
 
 /// Reference QR flood over std::set — kept for kernel equivalence tests.
@@ -173,18 +169,46 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
   SignalRegions result;
   result.signal = a;
 
+  // Word-packed planes for the hot path: one pass over the graph, then
+  // every value / excitation test below is a single bit probe.  The
+  // reference path keeps the original per-state out-edge scans.
+  const std::size_t n = static_cast<std::size_t>(sg.num_states());
+  StateSet value(0), excited(0), quiescent_plane(0), in_region(0);
+  std::vector<StateId> flood_frontier;
+  if (!reference) {
+    value = value_set(sg, a);
+    excited = excited_set(sg, a);
+    in_region = StateSet(n);
+  }
+  // Local-index scratch maps, allocated once and reset by touched entry so
+  // large graphs do not pay an O(num_states) clear per region.
+  std::vector<int> local(n, -1);
+  std::vector<int> er_local(n, -1);
+
   for (const bool rising : {true, false}) {
     // States of the union of ER(+a)s (resp. ER(-a)s): a has the pre-value
     // and is excited.
     std::vector<StateId> members;
-    std::vector<int> local(static_cast<std::size_t>(sg.num_states()), -1);
-    for (StateId s = 0; s < sg.num_states(); ++s) {
-      if (sg.value(s, a) != rising && sg.excited(s, a)) {
-        local[static_cast<std::size_t>(s)] = static_cast<int>(members.size());
-        members.push_back(s);
-      }
+    if (reference) {
+      for (StateId s = 0; s < sg.num_states(); ++s)
+        if (sg.value(s, a) != rising && sg.excited(s, a)) members.push_back(s);
+    } else {
+      // excited & (rising ? ~value : value), extracted in ascending order —
+      // identical to the per-state scan above.
+      StateSet er_plane = excited;
+      if (rising)
+        er_plane.subtract(value);
+      else
+        er_plane &= value;
+      members = er_plane.to_vector();
+      // QR(*a) candidates for this polarity: a has the new value, stable.
+      quiescent_plane = value;
+      if (!rising) quiescent_plane.complement();
+      quiescent_plane.subtract(excited);
     }
     if (members.empty()) continue;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      local[static_cast<std::size_t>(members[i])] = static_cast<int>(i);
 
     // Maximal connected sets: union-find over arcs internal to the set
     // (direction ignored for connectivity).
@@ -222,6 +246,8 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
       }
     }
 
+    for (const StateId s : members) local[static_cast<std::size_t>(s)] = -1;
+
     for (auto& er_states : components) {
       ExcitationRegion er;
       er.signal = a;
@@ -229,11 +255,11 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
       std::sort(er_states.begin(), er_states.end());
       er.states = er_states;
       er.quiescent = reference ? quiescent_of_reference(sg, a, er.states, rising)
-                               : quiescent_of(sg, a, er.states, rising);
+                               : quiescent_of(sg, a, er.states, rising, quiescent_plane,
+                                              in_region, flood_frontier);
 
       // Trigger regions: bottom SCCs of the subgraph of the ER induced by
       // the arcs that do not fire *a.
-      std::vector<int> er_local(static_cast<std::size_t>(sg.num_states()), -1);
       for (std::size_t i = 0; i < er.states.size(); ++i)
         er_local[static_cast<std::size_t>(er.states[i])] = static_cast<int>(i);
       std::vector<std::vector<int>> adjacency(er.states.size());
@@ -258,6 +284,7 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
       for (std::size_t c = 0; c < triggers.size(); ++c)
         if (is_bottom[c]) er.trigger_regions.push_back(std::move(triggers[c]));
 
+      for (const StateId s : er.states) er_local[static_cast<std::size_t>(s)] = -1;
       result.regions.push_back(std::move(er));
     }
   }
@@ -290,39 +317,39 @@ bool is_single_traversal(const StateGraph& sg) {
 }
 
 bool verify_output_trapping(const StateGraph& sg, const ExcitationRegion& er) {
-  std::vector<std::uint8_t> member(static_cast<std::size_t>(sg.num_states()), 0);
-  for (const StateId s : er.states) member[static_cast<std::size_t>(s)] = 1;
+  StateSet member(static_cast<std::size_t>(sg.num_states()));
+  for (const StateId s : er.states) member.insert(s);
   for (const StateId s : er.states) {
     for (const Edge& e : sg.out_edges(s)) {
       if (e.label.signal == er.signal) continue;  // firing *a: allowed exit
-      if (!member[static_cast<std::size_t>(e.target)]) return false;
+      if (!member.contains(e.target)) return false;
     }
   }
   return true;
 }
 
 bool verify_trigger_reachability(const StateGraph& sg, const ExcitationRegion& er) {
-  std::vector<std::uint8_t> trigger(static_cast<std::size_t>(sg.num_states()), 0);
+  const std::size_t n = static_cast<std::size_t>(sg.num_states());
+  StateSet trigger(n);
   for (const auto& tr : er.trigger_regions)
-    for (const StateId s : tr) trigger[static_cast<std::size_t>(s)] = 1;
-  std::vector<std::uint8_t> member(static_cast<std::size_t>(sg.num_states()), 0);
-  for (const StateId s : er.states) member[static_cast<std::size_t>(s)] = 1;
+    for (const StateId s : tr) trigger.insert(s);
+  StateSet member(n);
+  for (const StateId s : er.states) member.insert(s);
 
-  std::vector<std::uint8_t> seen(static_cast<std::size_t>(sg.num_states()), 0);
+  StateSet seen(n);
   for (const StateId start : er.states) {
     // BFS inside the ER over non-*a arcs.
-    std::fill(seen.begin(), seen.end(), 0);
-    seen[static_cast<std::size_t>(start)] = 1;
+    seen.clear();
+    seen.insert(start);
     std::vector<StateId> frontier{start};
-    bool found = trigger[static_cast<std::size_t>(start)] != 0;
+    bool found = trigger.contains(start);
     while (!frontier.empty() && !found) {
       const StateId s = frontier.back();
       frontier.pop_back();
       for (const Edge& e : sg.out_edges(s)) {
-        if (e.label.signal == er.signal || !member[static_cast<std::size_t>(e.target)]) continue;
-        if (!seen[static_cast<std::size_t>(e.target)]) {
-          seen[static_cast<std::size_t>(e.target)] = 1;
-          if (trigger[static_cast<std::size_t>(e.target)]) {
+        if (e.label.signal == er.signal || !member.contains(e.target)) continue;
+        if (seen.insert_new(e.target)) {
+          if (trigger.contains(e.target)) {
             found = true;
             break;
           }

@@ -70,12 +70,88 @@ Marking fire(const Stg& stg, const Marking& m, TransitionId t) {
   return next;
 }
 
+/// Unambiguous name for the place-loop firing, callable from the policy
+/// classes' own `fire` members without self-lookup.
+inline Marking fire_via_loop(const Stg& stg, const Marking& m, TransitionId t) {
+  return fire(stg, m, t);
+}
+
+/// Place-at-a-time firing — the original implementation, kept as the
+/// reference kernel (ReachabilityOptions::reference_maps).
+struct LoopFiring {
+  explicit LoopFiring(const Stg&) {}
+  bool enabled(const Stg& stg, const Marking& m, TransitionId t) const {
+    return transition_enabled(stg, m, t);
+  }
+  Marking fire(const Stg& stg, const Marking& m, TransitionId t) const {
+    return fire_via_loop(stg, m, t);
+  }
+};
+
+/// Mask-compiled firing: per transition, the preset and postset packed as
+/// word masks over the marking words, compiled once per traversal.
+/// Enabledness is `(m & preset) == preset`; firing is clear-preset /
+/// check-postset-overlap / set-postset, one word op per marking word.  On a
+/// 1-safety violation (postset overlap after clearing the preset) the
+/// kernel re-fires through the place loop so the diagnostic names the same
+/// transition and place as the reference.
+class MaskFiring {
+ public:
+  explicit MaskFiring(const Stg& stg) {
+    const std::size_t words = (static_cast<std::size_t>(stg.num_places()) + 63) / 64;
+    const std::size_t nt = static_cast<std::size_t>(stg.num_transitions());
+    preset_.assign(nt, Marking(words, 0));
+    postset_.assign(nt, Marking(words, 0));
+    has_preset_.assign(nt, false);
+    degenerate_.assign(nt, false);
+    for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      for (const PlaceId p : stg.preset(t)) set_token(preset_[ti], p, true);
+      for (const PlaceId p : stg.postset(t)) {
+        // A duplicate postset arc double-marks its place on every firing;
+        // masks cannot express the duplicate, so route such transitions
+        // through the place loop for the identical diagnostic.
+        if (has_token(postset_[ti], p)) degenerate_[ti] = true;
+        set_token(postset_[ti], p, true);
+      }
+      has_preset_[ti] = !stg.preset(t).empty();
+    }
+  }
+
+  bool enabled(const Stg&, const Marking& m, TransitionId t) const {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    if (!has_preset_[ti]) return false;
+    const Marking& pre = preset_[ti];
+    for (std::size_t w = 0; w < pre.size(); ++w)
+      if ((m[w] & pre[w]) != pre[w]) return false;
+    return true;
+  }
+
+  Marking fire(const Stg& stg, const Marking& m, TransitionId t) const {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    if (degenerate_[ti]) return fire_via_loop(stg, m, t);
+    const Marking& pre = preset_[ti];
+    const Marking& post = postset_[ti];
+    Marking next = m;
+    for (std::size_t w = 0; w < next.size(); ++w) {
+      next[w] &= ~pre[w];
+      if (next[w] & post[w]) return fire_via_loop(stg, m, t);  // 1-safety diagnostic
+      next[w] |= post[w];
+    }
+    return next;
+  }
+
+ private:
+  std::vector<Marking> preset_, postset_;
+  std::vector<bool> has_preset_, degenerate_;
+};
+
 /// Eagerly fire every enabled dummy transition until quiescence.  The
 /// closure over all firing orders must converge on a single
 /// dummy-quiescent marking (confusion-free dummies); anything else is
 /// rejected, as is a cycle of dummies.
-template <template <typename> class MapT>
-Marking saturate_dummies(const Stg& stg, Marking m) {
+template <template <typename> class MapT, typename Firing>
+Marking saturate_dummies(const Stg& stg, const Firing& firing, Marking m) {
   if (!stg.has_dummies()) return m;
   MapT<bool> seen;
   std::deque<Marking> queue;
@@ -87,9 +163,9 @@ Marking saturate_dummies(const Stg& stg, Marking m) {
     queue.pop_front();
     bool any = false;
     for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
-      if (!stg.transition(t).is_dummy() || !transition_enabled(stg, current, t)) continue;
+      if (!stg.transition(t).is_dummy() || !firing.enabled(stg, current, t)) continue;
       any = true;
-      Marking next = fire(stg, current, t);
+      Marking next = firing.fire(stg, current, t);
       if (seen.emplace(next, true).second) queue.push_back(std::move(next));
     }
     if (!any) quiescent.push_back(current);
@@ -101,8 +177,9 @@ Marking saturate_dummies(const Stg& stg, Marking m) {
   return quiescent.front();
 }
 
-template <template <typename> class MapT>
+template <template <typename> class MapT, typename Firing>
 std::vector<bool> infer_initial_values_impl(const Stg& stg, const ReachabilityOptions& options) {
+  const Firing firing(stg);
   const int n = stg.num_signals();
   std::vector<std::optional<bool>> values = stg.declared_initial_values();
   int unresolved = 0;
@@ -124,7 +201,7 @@ std::vector<bool> infer_initial_values_impl(const Stg& stg, const ReachabilityOp
       const Marking m = queue.front();
       queue.pop_front();
       for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
-        if (!transition_enabled(stg, m, t)) continue;
+        if (!firing.enabled(stg, m, t)) continue;
         const StgTransition& tr = stg.transition(t);
         if (!tr.is_dummy()) {
           auto& value = values[static_cast<std::size_t>(tr.signal)];
@@ -133,7 +210,7 @@ std::vector<bool> infer_initial_values_impl(const Stg& stg, const ReachabilityOp
             --unresolved;
           }
         }
-        Marking next = fire(stg, m, t);
+        Marking next = firing.fire(stg, m, t);
         const auto [it, inserted] = seen.emplace(std::move(next), true);
         if (inserted) queue.push_back(it->first);
       }
@@ -150,9 +227,10 @@ std::vector<bool> infer_initial_values_impl(const Stg& stg, const ReachabilityOp
   return result;
 }
 
-template <template <typename> class MapT>
+template <template <typename> class MapT, typename Firing>
 std::vector<TransitionId> dead_transitions_impl(const Stg& stg,
                                                 const ReachabilityOptions& options) {
+  const Firing firing(stg);
   std::vector<bool> fired(static_cast<std::size_t>(stg.num_transitions()), false);
   MapT<bool> seen;
   std::deque<Marking> queue;
@@ -165,9 +243,9 @@ std::vector<TransitionId> dead_transitions_impl(const Stg& stg,
     const Marking m = queue.front();
     queue.pop_front();
     for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
-      if (!transition_enabled(stg, m, t)) continue;
+      if (!firing.enabled(stg, m, t)) continue;
       fired[static_cast<std::size_t>(t)] = true;
-      Marking next = fire(stg, m, t);
+      Marking next = firing.fire(stg, m, t);
       const auto [it, inserted] = seen.emplace(std::move(next), true);
       if (inserted) queue.push_back(it->first);
     }
@@ -178,9 +256,10 @@ std::vector<TransitionId> dead_transitions_impl(const Stg& stg,
   return dead;
 }
 
-template <template <typename> class MapT>
+template <template <typename> class MapT, typename Firing>
 sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions& options) {
-  const std::vector<bool> initial_values = infer_initial_values_impl<MapT>(stg, options);
+  const Firing firing(stg);
+  const std::vector<bool> initial_values = infer_initial_values_impl<MapT, Firing>(stg, options);
 
   sg::StateGraph graph(stg.name());
   for (int i = 0; i < stg.num_signals(); ++i) {
@@ -196,7 +275,7 @@ sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions&
 
   MapT<sg::StateId> ids;
   std::deque<Marking> queue;
-  const Marking initial = saturate_dummies<MapT>(stg, pack(stg.initial_marking()));
+  const Marking initial = saturate_dummies<MapT>(stg, firing, pack(stg.initial_marking()));
   ids.emplace(initial, graph.add_state(initial_code));
   graph.set_initial(0);
   queue.push_back(initial);
@@ -208,7 +287,7 @@ sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions&
     const std::uint64_t code = graph.code(from);
 
     for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
-      if (!transition_enabled(stg, m, t)) continue;
+      if (!firing.enabled(stg, m, t)) continue;
       const StgTransition& tr = stg.transition(t);
       if (tr.is_dummy()) continue;  // eliminated by eager saturation below
       const std::uint64_t bit = 1ULL << tr.signal;
@@ -218,7 +297,7 @@ sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions&
                         (tr.rising ? "1" : "0"));
       const std::uint64_t next_code = tr.rising ? (code | bit) : (code & ~bit);
 
-      Marking next = saturate_dummies<MapT>(stg, fire(stg, m, t));
+      Marking next = saturate_dummies<MapT>(stg, firing, firing.fire(stg, m, t));
       const auto [it, inserted] = ids.emplace(std::move(next), -1);
       if (inserted) {
         NSHOT_REQUIRE(ids.size() <= options.max_states,
@@ -248,18 +327,21 @@ sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions&
 }  // namespace
 
 std::vector<bool> infer_initial_values(const Stg& stg, const ReachabilityOptions& options) {
-  return options.reference_maps ? infer_initial_values_impl<OrderedMarkingMap>(stg, options)
-                                : infer_initial_values_impl<HashedMarkingMap>(stg, options);
+  return options.reference_maps
+             ? infer_initial_values_impl<OrderedMarkingMap, LoopFiring>(stg, options)
+             : infer_initial_values_impl<HashedMarkingMap, MaskFiring>(stg, options);
 }
 
 std::vector<TransitionId> dead_transitions(const Stg& stg, const ReachabilityOptions& options) {
-  return options.reference_maps ? dead_transitions_impl<OrderedMarkingMap>(stg, options)
-                                : dead_transitions_impl<HashedMarkingMap>(stg, options);
+  return options.reference_maps
+             ? dead_transitions_impl<OrderedMarkingMap, LoopFiring>(stg, options)
+             : dead_transitions_impl<HashedMarkingMap, MaskFiring>(stg, options);
 }
 
 sg::StateGraph build_state_graph(const Stg& stg, const ReachabilityOptions& options) {
-  return options.reference_maps ? build_state_graph_impl<OrderedMarkingMap>(stg, options)
-                                : build_state_graph_impl<HashedMarkingMap>(stg, options);
+  return options.reference_maps
+             ? build_state_graph_impl<OrderedMarkingMap, LoopFiring>(stg, options)
+             : build_state_graph_impl<HashedMarkingMap, MaskFiring>(stg, options);
 }
 
 }  // namespace nshot::stg

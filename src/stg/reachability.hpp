@@ -22,10 +22,13 @@ namespace nshot::stg {
 struct ReachabilityOptions {
   /// Abort if the marking graph exceeds this many states.
   std::size_t max_states = 1u << 20;
-  /// Track visited markings in ordered std::map instead of the hashed hot
-  /// path — for kernel equivalence tests and benchmarking only.  State
-  /// numbering follows BFS discovery order (queue-driven, never map
-  /// iteration order), so both paths build identical graphs.
+  /// Track visited markings in ordered std::map and fire transitions by
+  /// place-at-a-time loops instead of the hashed-map + mask-compiled word
+  /// firing hot path — for kernel equivalence tests and benchmarking only.
+  /// State numbering follows BFS discovery order (queue-driven, never map
+  /// iteration order) and the mask kernel falls back to the loop firing on
+  /// 1-safety violations for identical diagnostics, so both paths build
+  /// identical graphs and throw identical errors.
   bool reference_maps = false;
 };
 

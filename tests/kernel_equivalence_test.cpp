@@ -14,9 +14,12 @@
 #include <vector>
 
 #include "bench_suite/generators.hpp"
+#include "csc/csc_solver.hpp"
 #include "faults/stress.hpp"
 #include "logic/exact.hpp"
+#include "logic/verify.hpp"
 #include "nshot/synthesis.hpp"
+#include "nshot/trigger.hpp"
 #include "sg/properties.hpp"
 #include "sg/regions.hpp"
 #include "sim/conformance.hpp"
@@ -259,60 +262,109 @@ TEST_P(KernelEquivalenceTest, RegionsMatchReference) {
 }
 
 TEST_P(KernelEquivalenceTest, CodingChecksMatchOrderedReference) {
-  // check_csc / check_usc / detonant_states were rewritten over sorted
-  // vectors and hashed maps; compare against local ordered-container
-  // reimplementations of the original algorithms.
+  // check_csc / check_usc / detonant_states run over sorted vectors,
+  // hashed maps and excitation bit planes; compare against the compiled-in
+  // ordered-container reference implementations of the originals.
   const auto gen = generate(GetParam());
   if (!gen) GTEST_SKIP() << "all-input controller";
   const sg::StateGraph& g = gen->graph;
 
-  // USC reference: ordered map keyed by code, violations in state order.
-  {
-    std::vector<std::string> expected;
-    std::map<std::uint64_t, sg::StateId> seen;
-    for (sg::StateId s = 0; s < g.num_states(); ++s) {
-      const auto [it, inserted] = seen.emplace(g.code(s), s);
-      if (!inserted)
-        expected.push_back("states " + g.state_name(it->second) + " and " + g.state_name(s) +
-                           " share one binary code");
-    }
-    EXPECT_EQ(expected, sg::check_usc(g).violations);
-  }
+  EXPECT_EQ(sg::check_usc_reference(g).violations, sg::check_usc(g).violations);
+  EXPECT_EQ(sg::check_csc_reference(g).violations, sg::check_csc(g).violations);
+  EXPECT_EQ(sg::count_csc_conflicts_reference(g), sg::count_csc_conflicts(g));
+  EXPECT_EQ(sg::count_csc_conflicts(g), sg::check_csc(g).violations.size());
+  for (const sg::SignalId a : g.noninput_signals())
+    EXPECT_EQ(sg::detonant_states_reference(g, a), sg::detonant_states(g, a)) << "signal " << a;
+}
 
-  // Detonant reference: distinct exciting successors via std::set.
-  for (const sg::SignalId a : g.noninput_signals()) {
-    std::vector<sg::StateId> expected;
-    for (sg::StateId w = 0; w < g.num_states(); ++w) {
-      if (g.excited(w, a)) continue;
-      std::set<sg::StateId> exciting;
-      for (const sg::Edge& e : g.out_edges(w))
-        if (g.excited(e.target, a)) exciting.insert(e.target);
-      if (exciting.size() >= 2) expected.push_back(w);
-    }
-    EXPECT_EQ(expected, sg::detonant_states(g, a)) << "signal " << a;
-  }
+TEST_P(KernelEquivalenceTest, TriggerEnforcementMatchesReferenceMembership) {
+  // Trigger-cube membership was rewritten from a cube x codes minterm scan
+  // to one supercube-containment test per cube; the repair decisions and
+  // the resulting cover must be identical.  Thin the cover cube by cube so
+  // the not-covered repair path runs too.
+  const auto gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "all-input controller";
+  const std::vector<sg::SignalRegions> regions = sg::compute_all_regions(gen->graph);
 
-  // CSC reference: ordered grouping by code.
-  {
-    auto excited_mask = [&](sg::StateId s) {
-      std::uint64_t mask = 0;
-      for (const sg::Edge& e : g.out_edges(s))
-        if (!g.is_input(e.label.signal)) mask |= (1ULL << e.label.signal);
-      return mask;
-    };
-    std::vector<std::string> expected;
-    std::map<std::uint64_t, std::vector<sg::StateId>> by_code;
-    for (sg::StateId s = 0; s < g.num_states(); ++s) by_code[g.code(s)].push_back(s);
-    for (const auto& [code, states] : by_code) {
-      if (states.size() < 2) continue;
-      const std::uint64_t reference = excited_mask(states[0]);
-      for (std::size_t i = 1; i < states.size(); ++i)
-        if (excited_mask(states[i]) != reference)
-          expected.push_back("CSC conflict between " + g.state_name(states[0]) + " and " +
-                             g.state_name(states[i]) +
-                             " (equal codes, different excited non-input signals)");
-    }
-    EXPECT_EQ(expected, sg::check_csc(g).violations);
+  auto report_fingerprint = [&](const core::TriggerReport& r) {
+    std::string out = std::to_string(r.cubes_added);
+    for (const core::TriggerIssue& issue : r.issues) out += "|" + issue.describe(gen->graph);
+    return out;
+  };
+
+  const std::size_t cover_size = gen->result.cover.size();
+  for (std::size_t drop = 0; drop <= cover_size; ++drop) {
+    logic::Cover thinned = gen->result.cover;
+    if (drop < cover_size) thinned.erase(drop);
+
+    logic::Cover reference_cover = thinned;
+    logic::Cover fast_cover = thinned;
+    core::TriggerOptions options;
+    options.reference_membership = true;
+    const core::TriggerReport reference = core::enforce_trigger_requirement(
+        gen->graph, regions, gen->result.derived, reference_cover, options);
+    options.reference_membership = false;
+    const core::TriggerReport fast = core::enforce_trigger_requirement(
+        gen->graph, regions, gen->result.derived, fast_cover, options);
+
+    EXPECT_EQ(report_fingerprint(reference), report_fingerprint(fast)) << "drop " << drop;
+    EXPECT_EQ(reference_cover.to_string(), fast_cover.to_string()) << "drop " << drop;
+  }
+}
+
+TEST_P(KernelEquivalenceTest, VerifyCoverMatchesReference) {
+  // verify_cover was rewritten bit-sliced over code planes; both the ok
+  // verdict and the first-violation diagnostic must match the
+  // minterm-at-a-time reference, including on deliberately broken covers.
+  const auto gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "all-input controller";
+  const logic::TwoLevelSpec& spec = gen->result.derived.spec;
+
+  auto compare = [&spec](const logic::Cover& cover, const std::string& what) {
+    const logic::VerifyResult reference = logic::verify_cover_reference(spec, cover);
+    const logic::VerifyResult fast = logic::verify_cover(spec, cover);
+    EXPECT_EQ(reference.ok, fast.ok) << what;
+    EXPECT_EQ(reference.message, fast.message) << what;
+  };
+
+  compare(gen->result.cover, "intact cover");
+  for (std::size_t drop = 0; drop < gen->result.cover.size(); ++drop) {
+    logic::Cover broken = gen->result.cover;
+    broken.erase(drop);
+    compare(broken, "cover without cube " + std::to_string(drop));
+  }
+  // A universal cube on every output trips the off-set check.
+  logic::Cover greedy = gen->result.cover;
+  greedy.add(logic::Cube::full(spec.num_inputs(),
+                               (spec.num_outputs() >= 64)
+                                   ? ~0ULL
+                                   : ((1ULL << spec.num_outputs()) - 1)));
+  compare(greedy, "cover with a universal cube");
+}
+
+TEST_P(KernelEquivalenceTest, CscSolverMatchesReferenceKernels) {
+  // The solver's conflict counting (and the reachability it drives) runs
+  // count-only and mask-compiled; the chosen insertions and the final
+  // graph must be identical to the reference-kernel run.
+  const stg::Stg net = stg::parse_g(random_g_text(GetParam()));
+
+  csc::CscSolveOptions options;
+  options.max_signals = 2;
+  options.reference_kernels = true;
+  std::optional<csc::CscSolveResult> reference;
+  try {
+    reference = csc::solve_csc(net, options);
+  } catch (const Error&) {
+    GTEST_SKIP() << "draw is not a consistent semi-modular specification";
+  }
+  options.reference_kernels = false;
+  const std::optional<csc::CscSolveResult> fast = csc::solve_csc(net, options);
+
+  ASSERT_EQ(reference.has_value(), fast.has_value());
+  if (reference) {
+    EXPECT_EQ(reference->signals_added, fast->signals_added);
+    EXPECT_EQ(reference->insertions, fast->insertions);
+    EXPECT_EQ(sg_fingerprint(reference->graph), sg_fingerprint(fast->graph));
   }
 }
 

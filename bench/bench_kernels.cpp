@@ -38,6 +38,7 @@
 #include "faults/stress.hpp"
 #include "logic/exact.hpp"
 #include "nshot/synthesis.hpp"
+#include "obs/obs.hpp"
 #include "sg/regions.hpp"
 #include "sim/conformance.hpp"
 #include "stg/g_format.hpp"
@@ -311,6 +312,47 @@ KernelTiming measure_regions(bool smoke) {
   return timing;
 }
 
+/// Cost of the observability layer on the hottest instrumented loop.
+/// The pipeline is instrumented unconditionally (no recompile to turn it
+/// on), so the number that matters is the price of the dormant
+/// check-a-flag-and-return calls: `disabled_ms` times the conformance
+/// sweep with no Session alive, `enabled_ms` with one collecting.  The
+/// two legs interleave samples like every other comparison here.
+struct ObsTiming {
+  double disabled_ms = 0, enabled_ms = 0;
+  std::string passes_fragment;  // per-pass breakdown from the enabled leg
+  double overhead_pct() const {
+    return disabled_ms > 0 ? (enabled_ms / disabled_ms - 1.0) * 100.0 : 0.0;
+  }
+};
+
+ObsTiming measure_obs(bool smoke) {
+  const sg::StateGraph g = bench_suite::build_benchmark("chu133");
+  const core::SynthesisResult result = core::synthesize(g);
+
+  sim::ConformanceOptions conf;
+  conf.seed = 7;
+  conf.runs = smoke ? 8 : 96;
+  conf.max_transitions = 150;
+  conf.jobs = 1;
+
+  ObsTiming timing;
+  const int reps = smoke ? 1 : 15;
+  MinTimer disabled_t, enabled_t;
+  for (int i = 0; i < reps; ++i) {
+    disabled_t.sample([&] { sim::check_conformance(g, result.circuit, conf); });
+    {
+      obs::Session session("bench_kernels", "obs-overhead");
+      enabled_t.sample([&] { sim::check_conformance(g, result.circuit, conf); });
+      if (timing.passes_fragment.empty())
+        timing.passes_fragment = obs::passes_json_fragment(session.report());
+    }
+  }
+  timing.disabled_ms = disabled_t.best;
+  timing.enabled_ms = enabled_t.best;
+  return timing;
+}
+
 /// A jobs=1 measurement from a pre-kernel-layer build of bench_parallel
 /// (same workload as measure() above).
 struct BaselineCase {
@@ -395,6 +437,11 @@ int main(int argc, char** argv) {
     kernels.push_back(k);
   }
 
+  const ObsTiming obs_timing = measure_obs(smoke);
+  std::printf(
+      "\nobservability: dormant %.1fms, collecting %.1fms (%+.2f%% while collecting)\n",
+      obs_timing.disabled_ms, obs_timing.enabled_ms, obs_timing.overhead_pct());
+
   double conf_reference = 0, conf_compiled = 0, stress_reference = 0, stress_compiled = 0;
   for (const CaseTiming& t : timings) {
     conf_reference += t.conf_reference_ms;
@@ -460,7 +507,10 @@ int main(int argc, char** argv) {
          << ", \"reference_ms\": " << k.reference_ms << ", \"fast_ms\": " << k.fast_ms << "}"
          << (i + 1 < kernels.size() ? "," : "") << "\n";
   }
-  json << "  ]";
+  json << "  ],\n  \"observability\": {\"disabled_ms\": " << obs_timing.disabled_ms
+       << ", \"enabled_ms\": " << obs_timing.enabled_ms
+       << ", \"overhead_pct\": " << obs_timing.overhead_pct() << ", "
+       << obs_timing.passes_fragment << "}";
   if (have_baseline) {
     json << ",\n  \"baseline\": {\n    \"path\": \"" << baseline_path
          << "\",\n    \"conformance_speedup\": " << vs_base_conf

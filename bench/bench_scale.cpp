@@ -40,6 +40,7 @@
 #include "logic/cube.hpp"
 #include "nshot/spec_derivation.hpp"
 #include "nshot/trigger.hpp"
+#include "obs/obs.hpp"
 #include "sg/properties.hpp"
 #include "sg/regions.hpp"
 #include "sg/state_graph.hpp"
@@ -302,6 +303,21 @@ int main(int argc, char** argv) {
     timings.push_back(t);
   }
 
+  // One single-shot analysis of the largest tier under an obs::Session —
+  // parse → reachability → implementability → regions, each exactly once
+  // (the timed loops above repeat kernels, which would turn pass totals
+  // into rep-count artifacts) — so BENCH_scale.json carries a per-pass
+  // wall-time breakdown at scale.
+  std::string passes_fragment;
+  {
+    obs::Session session("bench_scale", "chains-" + std::to_string(tiers.back()) + "x3");
+    const stg::Stg net = stg::parse_g(tier_g(tiers.back()));
+    const sg::StateGraph scale_g = stg::build_state_graph(net);
+    sg::check_implementability(scale_g);
+    sg::compute_all_regions(scale_g);
+    passes_fragment = obs::passes_json_fragment(session.report());
+  }
+
   const TierTiming& largest = timings.back();
   std::printf("\nlargest tier (%s, %d states): combined regions+coding+trigger %.2fx, "
               "reachability %.2fx\n",
@@ -335,7 +351,8 @@ int main(int argc, char** argv) {
          << ", \"combined_speedup\": " << t.combined_speedup() << "}"
          << (i + 1 < timings.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"observability\": {\"tier\": \"chains-" << tiers.back()
+       << "x3\", " << passes_fragment << "}\n}\n";
   std::ofstream(out_path) << json.str();
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -5,41 +5,13 @@
 //   assassin_cli --benchmark NAME  synthesize a built-in Table 2 benchmark
 //   assassin_cli --list            list the built-in benchmarks
 //
-// Options:
-//   --exact          use exact (Quine-McCluskey) minimization per output
-//   --no-share       disable AND-gate sharing across outputs
-//   --solve-csc      resolve CSC violations by state-signal insertion
-//                    (STG inputs only; mirrors the preprocessing of [6,18])
-//   --netlist        print the synthesized netlist
-//   --verilog        print the circuit as self-contained Verilog
-//   --dot SIGNAL     print the SG as Graphviz DOT with SIGNAL's regions
-//   --pla            print the minimized cover in PLA format
-//   --regions        print the region analysis per non-input signal
-//   --check N        run N closed-loop conformance simulations (default 8)
-//   --jobs N         worker threads for every sweep (conformance, stress
-//                    battery, adversarial restarts, Monte Carlo); results
-//                    are collected by trial index, so all outputs are
-//                    byte-identical to --jobs 1 (default: NSHOT_JOBS or 1)
-//   --vcd FILE       write one closed-loop simulation trace as VCD
-//   --baselines      also run the SIS-like / SYN-like / complex-gate flows
-//
-// Robustness / fault injection (src/faults):
-//   --stress              fault battery + robustness-margin report (JSON)
-//   --stress-runs N       margin-measurement runs (default 5)
-//   --stress-factor F     delay-outlier stretch beyond the library interval
-//                         (default: 3.0 for --stress, 1.0 for --stress-uncomp)
-//   --stress-out FILE     write the JSON report to FILE instead of stdout
-//   --stress-uncomp       under-compensation demo: deepen one set SOP so
-//                         Eq. 1 requires t_del > 0, install none, show
-//                         uniform Monte Carlo missing the trespass that the
-//                         adversarial search finds; minimized witness JSON
-//                         and VCD are written to disk
-//   --stress-vcd FILE     witness waveform path (default stress_witness.vcd)
-//   --stress-deepen N     max buffer levels tried when picking the
-//                         under-compensated signal (default 2)
+// Every option lives in kFlags below — one table row carries the name, the
+// value placeholder, the help line and the handler, and --help is generated
+// from the same table, so the parser and its documentation cannot drift.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -51,6 +23,7 @@
 #include "logic/pla.hpp"
 #include "netlist/verilog.hpp"
 #include "nshot/synthesis.hpp"
+#include "obs/obs.hpp"
 #include "sg/dot.hpp"
 #include "sg/properties.hpp"
 #include "sg/regions.hpp"
@@ -62,14 +35,140 @@
 
 namespace {
 
-void usage() {
-  std::puts(
-      "usage: assassin_cli (<file.g|file.sg> | --benchmark NAME | --list)\n"
-      "       [--exact] [--no-share] [--solve-csc] [--netlist] [--verilog]\n"
-      "       [--dot SIGNAL] [--pla] [--regions] [--check N] [--vcd FILE]\n"
-      "       [--jobs N] [--baselines] [--stress] [--stress-runs N] [--stress-factor F]\n"
-      "       [--stress-out FILE] [--stress-uncomp] [--stress-vcd FILE]\n"
-      "       [--stress-deepen N]");
+using namespace nshot;
+
+struct Cli {
+  std::string input_file, benchmark, dot_signal, vcd_file;
+  bool list = false, exact = false, no_share = false, solve_csc = false;
+  bool print_netlist = false, print_pla = false, print_regions = false, run_baselines = false;
+  bool print_verilog = false, print_dot = false;
+  bool stress = false, stress_uncomp = false;
+  int check_runs = 8, stress_runs = 5, stress_deepen = 2, jobs = 0;
+  double stress_factor = 0.0;  // 0 = per-mode default (3.0 battery, 1.0 demo)
+  std::string stress_out, stress_vcd = "stress_witness.vcd";
+  std::string trace_file, report_file;
+  bool trace_deterministic = false;
+};
+
+/// One command-line option: `metavar == nullptr` means a boolean flag, any
+/// other value means the flag consumes the next argv entry (shown as the
+/// placeholder in --help).  Handlers are capture-free lambdas so the table
+/// is a plain static array.
+struct FlagSpec {
+  const char* name;
+  const char* metavar;
+  const char* help;
+  void (*handler)(Cli&, const char*);
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--list", nullptr, "list the built-in Table 2 benchmarks",
+     [](Cli& c, const char*) { c.list = true; }},
+    {"--benchmark", "NAME", "synthesize a built-in benchmark",
+     [](Cli& c, const char* v) { c.benchmark = v; }},
+    {"--exact", nullptr, "exact (Quine-McCluskey) minimization per output",
+     [](Cli& c, const char*) { c.exact = true; }},
+    {"--no-share", nullptr, "disable AND-gate sharing across outputs",
+     [](Cli& c, const char*) { c.no_share = true; }},
+    {"--solve-csc", nullptr,
+     "resolve CSC violations by state-signal insertion (STG inputs only)",
+     [](Cli& c, const char*) { c.solve_csc = true; }},
+    {"--netlist", nullptr, "print the synthesized netlist",
+     [](Cli& c, const char*) { c.print_netlist = true; }},
+    {"--verilog", nullptr, "print the circuit as self-contained Verilog",
+     [](Cli& c, const char*) { c.print_verilog = true; }},
+    {"--dot", "SIGNAL", "print the SG as Graphviz DOT with SIGNAL's regions",
+     [](Cli& c, const char* v) {
+       c.print_dot = true;
+       c.dot_signal = v;
+     }},
+    {"--pla", nullptr, "print the minimized cover in PLA format",
+     [](Cli& c, const char*) { c.print_pla = true; }},
+    {"--regions", nullptr, "print the region analysis per non-input signal",
+     [](Cli& c, const char*) { c.print_regions = true; }},
+    {"--check", "N", "closed-loop conformance simulations (default 8)",
+     [](Cli& c, const char* v) { c.check_runs = parse_int(v, 0, 1'000'000, "--check"); }},
+    {"--jobs", "N",
+     "worker threads for every sweep; outputs are byte-identical to --jobs 1 "
+     "(default: NSHOT_JOBS or 1)",
+     [](Cli& c, const char* v) { c.jobs = parse_int(v, 1, 4096, "--jobs"); }},
+    {"--vcd", "FILE", "write one closed-loop simulation trace as VCD",
+     [](Cli& c, const char* v) { c.vcd_file = v; }},
+    {"--baselines", nullptr, "also run the SIS-like / SYN-like / complex-gate flows",
+     [](Cli& c, const char*) { c.run_baselines = true; }},
+    {"--stress", nullptr, "fault battery + robustness-margin report (JSON)",
+     [](Cli& c, const char*) { c.stress = true; }},
+    {"--stress-runs", "N", "margin-measurement runs (default 5)",
+     [](Cli& c, const char* v) { c.stress_runs = parse_int(v, 1, 1'000'000, "--stress-runs"); }},
+    {"--stress-factor", "F",
+     "delay-outlier stretch beyond the library interval (default: 3.0 for "
+     "--stress, 1.0 for --stress-uncomp)",
+     [](Cli& c, const char* v) { c.stress_factor = parse_double(v, 1.0, 100.0, "--stress-factor"); }},
+    {"--stress-out", "FILE", "write the stress JSON report to FILE instead of stdout",
+     [](Cli& c, const char* v) { c.stress_out = v; }},
+    {"--stress-uncomp", nullptr,
+     "under-compensation demo: Monte Carlo misses the Eq. 1 trespass the "
+     "adversarial search finds; witness JSON and VCD are written to disk",
+     [](Cli& c, const char*) { c.stress_uncomp = true; }},
+    {"--stress-vcd", "FILE", "witness waveform path (default stress_witness.vcd)",
+     [](Cli& c, const char* v) { c.stress_vcd = v; }},
+    {"--stress-deepen", "N",
+     "max buffer levels tried when picking the under-compensated signal (default 2)",
+     [](Cli& c, const char* v) { c.stress_deepen = parse_int(v, 1, 64, "--stress-deepen"); }},
+    {"--trace", "FILE", "write a Chrome trace_event JSON of the run to FILE",
+     [](Cli& c, const char* v) { c.trace_file = v; }},
+    {"--report", "FILE", "write a flat run report JSON (passes, counters, RSS) to FILE",
+     [](Cli& c, const char* v) { c.report_file = v; }},
+    {"--trace-deterministic", nullptr,
+     "canonical trace/report: logical timestamps, scheduling-dependent spans "
+     "and counters dropped; byte-identical across --jobs values",
+     [](Cli& c, const char*) { c.trace_deterministic = true; }},
+};
+
+void print_help() {
+  std::printf("usage: assassin_cli (<file.g|file.sg> | --benchmark NAME | --list) [options]\n\n");
+  std::printf("options:\n");
+  for (const FlagSpec& flag : kFlags) {
+    std::string left = flag.name;
+    if (flag.metavar) left += std::string(" ") + flag.metavar;
+    std::printf("  %-22s %s\n", left.c_str(), flag.help);
+  }
+}
+
+const FlagSpec* find_flag(const char* name) {
+  for (const FlagSpec& flag : kFlags)
+    if (std::strcmp(flag.name, name) == 0) return &flag;
+  return nullptr;
+}
+
+/// Returns 0 (parsed), 1 (help printed) or 2 (bad usage).
+int parse_args(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_help();
+      return 1;
+    }
+    if (const FlagSpec* flag = find_flag(arg)) {
+      const char* value = nullptr;
+      if (flag->metavar) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s requires a value (%s)\n", flag->name, flag->metavar);
+          return 2;
+        }
+        value = argv[++i];
+      }
+      flag->handler(cli, value);
+      continue;
+    }
+    if (arg[0] != '\0' && arg[0] != '-') {
+      cli.input_file = arg;
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown option '%s' (see --help)\n", arg);
+    return 2;
+  }
+  return 0;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -81,78 +180,51 @@ void write_file(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace nshot;
-  std::string input_file, benchmark, dot_signal, vcd_file;
-  bool list = false, exact = false, no_share = false, solve_csc = false;
-  bool print_netlist = false, print_pla = false, print_regions = false, run_baselines = false;
-  bool print_verilog = false, print_dot = false;
-  bool stress = false, stress_uncomp = false;
-  int check_runs = 8, stress_runs = 5, stress_deepen = 2;
-  double stress_factor = 0.0;  // 0 = per-mode default (3.0 battery, 1.0 demo)
-  std::string stress_out, stress_vcd = "stress_witness.vcd";
-
+  Cli cli;
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--list") list = true;
-      else if (arg == "--benchmark" && i + 1 < argc) benchmark = argv[++i];
-      else if (arg == "--exact") exact = true;
-      else if (arg == "--no-share") no_share = true;
-      else if (arg == "--solve-csc") solve_csc = true;
-      else if (arg == "--netlist") print_netlist = true;
-      else if (arg == "--verilog") print_verilog = true;
-      else if (arg == "--dot" && i + 1 < argc) { print_dot = true; dot_signal = argv[++i]; }
-      else if (arg == "--pla") print_pla = true;
-      else if (arg == "--regions") print_regions = true;
-      else if (arg == "--baselines") run_baselines = true;
-      else if (arg == "--check" && i + 1 < argc)
-        check_runs = parse_int(argv[++i], 0, 1'000'000, "--check");
-      else if (arg == "--jobs" && i + 1 < argc)
-        exec::set_default_jobs(parse_int(argv[++i], 1, 4096, "--jobs"));
-      else if (arg == "--vcd" && i + 1 < argc) vcd_file = argv[++i];
-      else if (arg == "--stress") stress = true;
-      else if (arg == "--stress-runs" && i + 1 < argc)
-        stress_runs = parse_int(argv[++i], 1, 1'000'000, "--stress-runs");
-      else if (arg == "--stress-factor" && i + 1 < argc)
-        stress_factor = parse_double(argv[++i], 1.0, 100.0, "--stress-factor");
-      else if (arg == "--stress-out" && i + 1 < argc) stress_out = argv[++i];
-      else if (arg == "--stress-uncomp") stress_uncomp = true;
-      else if (arg == "--stress-vcd" && i + 1 < argc) stress_vcd = argv[++i];
-      else if (arg == "--stress-deepen" && i + 1 < argc)
-        stress_deepen = parse_int(argv[++i], 1, 64, "--stress-deepen");
-      else if (arg == "--help" || arg == "-h") { usage(); return 0; }
-      else if (!arg.empty() && arg[0] != '-') input_file = arg;
-      else { usage(); return 2; }
-    }
+    const int parsed = parse_args(argc, argv, cli);
+    if (parsed != 0) return parsed == 1 ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+  if (cli.jobs > 0) exec::set_default_jobs(cli.jobs);
 
-  if (list) {
+  if (cli.list) {
     std::printf("%-15s %8s %6s %s\n", "name", "states*", "distr", "(* state count in the paper)");
     for (const auto& info : bench_suite::all_benchmarks())
       std::printf("%-15s %8d %6s\n", info.name.c_str(), info.paper_states,
                   info.nondistributive ? "no" : "yes");
     return 0;
   }
-  if (input_file.empty() && benchmark.empty()) {
-    usage();
+  if (cli.input_file.empty() && cli.benchmark.empty()) {
+    print_help();
     return 2;
   }
 
+  // Observe the run only when an exporter was requested: the session wraps
+  // everything from specification load to the last verification sweep, and
+  // the CLI-level spans below keep the report's pass list covering the
+  // whole wall clock (library spans land nested beneath them).
+  std::optional<obs::Session> session;
+  if (!cli.trace_file.empty() || !cli.report_file.empty())
+    session.emplace("assassin_cli",
+                    cli.benchmark.empty() ? cli.input_file : cli.benchmark);
+
   try {
     sg::StateGraph graph = [&] {
-      if (!benchmark.empty()) return bench_suite::build_benchmark(benchmark);
-      std::ifstream stream(input_file);
-      if (!stream) throw Error("cannot open " + input_file);
+      const obs::Span span("load");
+      if (!cli.benchmark.empty()) return bench_suite::build_benchmark(cli.benchmark);
+      std::ifstream stream(cli.input_file);
+      if (!stream) throw Error("cannot open " + cli.input_file);
       std::stringstream buffer;
       buffer << stream.rdbuf();
-      const bool is_sg_format = input_file.size() >= 3 &&
-                                input_file.compare(input_file.size() - 3, 3, ".sg") == 0;
+      const bool is_sg_format =
+          cli.input_file.size() >= 3 &&
+          cli.input_file.compare(cli.input_file.size() - 3, 3, ".sg") == 0;
       if (is_sg_format) return stg::parse_sg(buffer.str());
       const stg::Stg net = stg::parse_g(buffer.str());
-      if (solve_csc) {
+      if (cli.solve_csc) {
         const auto solved = csc::solve_csc(net);
         if (!solved) throw Error("CSC solving failed within the signal budget");
         std::printf("CSC solved with %d inserted state signal(s):\n", solved->signals_added);
@@ -162,64 +234,66 @@ int main(int argc, char** argv) {
       return stg::build_state_graph(net);
     }();
 
-    std::printf("specification: %s — %d states, %zu input / %zu non-input signals\n",
-                graph.name().c_str(), graph.num_states(), graph.input_signals().size(),
-                graph.noninput_signals().size());
-    std::printf("distributive: %s, single traversal: %s\n",
-                sg::is_distributive(graph) ? "yes" : "no",
-                sg::is_single_traversal(graph) ? "yes" : "no");
-
-    if (print_regions)
-      for (const auto& regions : sg::compute_all_regions(graph))
-        std::printf("%s", regions.to_string(graph).c_str());
+    {
+      const obs::Span span("analyze");
+      std::printf("specification: %s — %d states, %zu input / %zu non-input signals\n",
+                  graph.name().c_str(), graph.num_states(), graph.input_signals().size(),
+                  graph.noninput_signals().size());
+      std::printf("distributive: %s, single traversal: %s\n",
+                  sg::is_distributive(graph) ? "yes" : "no",
+                  sg::is_single_traversal(graph) ? "yes" : "no");
+      if (cli.print_regions)
+        for (const auto& regions : sg::compute_all_regions(graph))
+          std::printf("%s", regions.to_string(graph).c_str());
+    }
 
     core::SynthesisOptions options;
-    options.exact = exact;
-    options.share_products = !no_share;
+    options.exact = cli.exact;
+    options.share_products = !cli.no_share;
     const core::SynthesisResult result = core::synthesize(graph, options);
-    std::printf("\n%s", core::describe(graph, result).c_str());
 
-    if (print_pla) std::printf("\n%s", logic::write_pla(result.cover).c_str());
-    if (print_netlist) std::printf("\n%s", result.circuit.to_string().c_str());
-    if (print_verilog)
-      std::printf("\n%s",
-                  netlist::write_verilog(result.circuit, gatelib::GateLibrary::standard())
-                      .c_str());
-    if (print_dot) {
-      sg::DotOptions dot_options;
-      dot_options.highlight_signal = graph.find_signal(dot_signal);
-      std::printf("\n%s", sg::to_dot(graph, dot_options).c_str());
+    {
+      const obs::Span span("output");
+      std::printf("\n%s", core::describe(graph, result).c_str());
+      if (cli.print_pla) std::printf("\n%s", logic::write_pla(result.cover).c_str());
+      if (cli.print_netlist) std::printf("\n%s", result.circuit.to_string().c_str());
+      if (cli.print_verilog)
+        std::printf("\n%s",
+                    netlist::write_verilog(result.circuit, gatelib::GateLibrary::standard())
+                        .c_str());
+      if (cli.print_dot) {
+        sg::DotOptions dot_options;
+        dot_options.highlight_signal = graph.find_signal(cli.dot_signal);
+        std::printf("\n%s", sg::to_dot(graph, dot_options).c_str());
+      }
+      if (!cli.vcd_file.empty()) {
+        const sim::TracedRun traced = sim::record_vcd_trace(graph, result.circuit);
+        write_file(cli.vcd_file, traced.vcd);
+        std::printf("\nwrote VCD trace (%ld transitions, %.1f time units) to %s\n",
+                    traced.report.external_transitions, traced.report.simulated_time,
+                    cli.vcd_file.c_str());
+      }
     }
 
-    if (!vcd_file.empty()) {
-      const sim::TracedRun traced = sim::record_vcd_trace(graph, result.circuit);
-      std::ofstream out(vcd_file);
-      if (!out) throw Error("cannot write " + vcd_file);
-      out << traced.vcd;
-      std::printf("\nwrote VCD trace (%ld transitions, %.1f time units) to %s\n",
-                  traced.report.external_transitions, traced.report.simulated_time,
-                  vcd_file.c_str());
-    }
-
-    if (check_runs > 0) {
+    if (cli.check_runs > 0) {
       sim::ConformanceOptions copt;
-      copt.runs = check_runs;
+      copt.runs = cli.check_runs;
       const sim::ConformanceReport report = sim::check_conformance(graph, result.circuit, copt);
       std::printf("\nconformance: %s\n", report.summary().c_str());
       if (!report.clean()) return 1;
     }
 
-    if (stress) {
+    if (cli.stress) {
       faults::StressOptions sopt;
-      sopt.margin_runs = stress_runs;
-      sopt.adversarial.stress_factor = stress_factor > 0.0 ? stress_factor : 3.0;
+      sopt.margin_runs = cli.stress_runs;
+      sopt.adversarial.stress_factor = cli.stress_factor > 0.0 ? cli.stress_factor : 3.0;
       const faults::StressReport report =
           faults::run_stress(graph, result.circuit, graph.name(), sopt);
       const std::string json = faults::stress_report_json(report);
-      if (stress_out.empty()) {
+      if (cli.stress_out.empty()) {
         std::printf("\n%s\n", json.c_str());
       } else {
-        write_file(stress_out, json);
+        write_file(cli.stress_out, json);
         int failed = 0;
         for (const faults::FaultOutcome& outcome : report.outcomes)
           if (!outcome.survived) ++failed;
@@ -227,15 +301,16 @@ int main(int argc, char** argv) {
             "\nstress: %zu signals, %zu faults (%d detected), min omega slack %.3f, "
             "min Eq.1 slack %.3f, adversarial best slack %.3f -> %s\n",
             report.signals.size(), report.outcomes.size(), failed, report.min_omega_slack,
-            report.min_eq1_slack, report.adversarial.best_slack, stress_out.c_str());
+            report.min_eq1_slack, report.adversarial.best_slack, cli.stress_out.c_str());
       }
     }
 
-    if (stress_uncomp) {
+    if (cli.stress_uncomp) {
       // Deliberately break Eq. 1: deepen one signal's set SOP with buffers
       // (raising t_set0w) and install no compensating delay line, then show
       // that uniform Monte Carlo over stressed delay bounds misses the
       // trespass an adversarial search finds, minimizes and dumps.
+      const obs::Span span("uncompensated");
       const auto noninputs = graph.noninput_signals();
       if (noninputs.empty()) throw Error("--stress-uncomp needs a non-input signal");
       const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
@@ -250,7 +325,7 @@ int main(int argc, char** argv) {
       double required = faults::kNoMargin;
       for (const auto sid : noninputs) {
         const std::string& name = graph.signal(sid).name;
-        for (int l = 1; l <= stress_deepen; ++l) {
+        for (int l = 1; l <= cli.stress_deepen; ++l) {
           const netlist::Netlist candidate =
               faults::deepen_set_path(result.circuit, name, l);
           double shortfall = 0.0;
@@ -267,7 +342,7 @@ int main(int argc, char** argv) {
       }
       if (target.empty())
         throw Error("--stress-uncomp: no under-compensated variant within " +
-                    std::to_string(stress_deepen) + " extra levels");
+                    std::to_string(cli.stress_deepen) + " extra levels");
       const netlist::Netlist uncomp = faults::strip_delay_compensation(
           faults::deepen_set_path(result.circuit, target, levels));
       std::printf(
@@ -279,7 +354,7 @@ int main(int argc, char** argv) {
       // shortfall makes a thin corner of the ordinary delay box hazardous,
       // which is the sharpest form of the demo.
       faults::AdversarialOptions aopt;
-      aopt.stress_factor = stress_factor > 0.0 ? stress_factor : 1.0;
+      aopt.stress_factor = cli.stress_factor > 0.0 ? cli.stress_factor : 1.0;
       const faults::MonteCarloResult mc =
           faults::stressed_monte_carlo(graph, uncomp, 200, aopt);
       std::printf("uniform Monte Carlo: %d/%d runs violate (min slack %.3f)\n",
@@ -295,14 +370,15 @@ int main(int argc, char** argv) {
         scenario.delays = adv.delays;
         const faults::MinimizedWitness witness =
             faults::minimize_counterexample(graph, uncomp, scenario);
-        const std::string json_path = stress_out.empty() ? "stress_witness.json" : stress_out;
+        const std::string json_path =
+            cli.stress_out.empty() ? "stress_witness.json" : cli.stress_out;
         write_file(json_path, faults::witness_json(witness, uncomp));
-        write_file(stress_vcd, witness.vcd);
+        write_file(cli.stress_vcd, witness.vcd);
         std::printf(
             "minimized witness: %d off-nominal gate delays (%d reset to nominal, "
             "%ld replays) -> %s, %s\n",
             witness.off_nominal_gates, witness.delays_reset, witness.evaluations,
-            json_path.c_str(), stress_vcd.c_str());
+            json_path.c_str(), cli.stress_vcd.c_str());
         if (!witness.report.violations.empty())
           std::printf("  %s: %s\n",
                       sim::violation_kind_name(witness.report.violations.front().kind),
@@ -310,7 +386,8 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (run_baselines) {
+    if (cli.run_baselines) {
+      const obs::Span span("baselines");
       auto show = [&](const char* name, const baselines::BaselineOutcome& outcome) {
         if (outcome.ok())
           std::printf("%-13s area %7.0f  delay %4.1f\n", name, outcome.result->stats.area,
@@ -324,6 +401,26 @@ int main(int argc, char** argv) {
       show("sis-like", baselines::synthesize_sis_like(graph));
       show("syn-like", baselines::synthesize_syn_like(graph));
       show("complex-gate", baselines::synthesize_complex_gate(graph));
+    }
+
+    if (session) {
+      obs::TraceOptions topt;
+      topt.deterministic = cli.trace_deterministic;
+      obs::ReportOptions ropt;
+      ropt.deterministic = cli.trace_deterministic;
+      // Render everything before touching the disk so the exporters' own
+      // I/O does not count against the session's attributed time.
+      const std::string trace = cli.trace_file.empty() ? "" : session->trace_json(topt);
+      const std::string report_doc =
+          cli.report_file.empty() ? "" : session->report_json(ropt);
+      const obs::RunReport report = session->report();
+      if (!cli.trace_file.empty()) write_file(cli.trace_file, trace);
+      if (!cli.report_file.empty()) write_file(cli.report_file, report_doc);
+      std::printf("\nobservability: %zu pass(es), %.1f of %.1f ms attributed -> %s%s%s\n",
+                  report.passes.size(), report.attributed_ms(), report.total_ms,
+                  cli.trace_file.c_str(), !cli.trace_file.empty() && !cli.report_file.empty()
+                                              ? ", " : "",
+                  cli.report_file.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,8 +1,8 @@
 // Parametric pipeline/broadcast controller demo: generate an N-way
 // controller STG of configurable width (the shape of the paper's large
-// bus benchmarks), synthesize it, and stress it in the closed-loop
-// simulator, reporting the internal-vs-external hazard activity that
-// motivates the architecture.
+// bus benchmarks), run it through the nshot::Pipeline facade —
+// synthesis plus closed-loop stress in one call — and report the
+// internal-vs-external hazard activity that motivates the architecture.
 //
 //   pipeline_controller [width] [chain_length] [runs]
 #include <cstdio>
@@ -11,9 +11,8 @@
 #include <vector>
 
 #include "bench_suite/generators.hpp"
-#include "nshot/synthesis.hpp"
+#include "nshot/pipeline.hpp"
 #include "sg/properties.hpp"
-#include "sim/conformance.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) try {
@@ -38,26 +37,29 @@ int main(int argc, char** argv) try {
   }
   const std::string g_text = bench_suite::parallel_chains_g(
       "pipeline", "m", /*master_is_input=*/true, chains, inputs, outputs);
-  const sg::StateGraph graph = bench_suite::build_g(g_text);
+
+  // The facade parses the .g text, builds the reachability state graph,
+  // synthesizes and stress-verifies it in one call.
+  PipelineOptions options;
+  options.conformance.runs = runs;
+  options.conformance.max_transitions = 60 * width;
+  Pipeline pipeline(std::move(options));
+  const PipelineRun run = pipeline.run_g(g_text);
 
   std::printf("pipeline controller: width %d, chain length %d -> %d states, %d signals\n",
-              width, chain_length, graph.num_states(), graph.num_signals());
-  std::printf("preconditions: %s\n", sg::check_implementability(graph).summary().c_str());
+              width, chain_length, run.graph.num_states(), run.graph.num_signals());
+  std::printf("preconditions: %s\n", sg::check_implementability(run.graph).summary().c_str());
+  std::printf("%s", core::describe(run.graph, run.synthesis).c_str());
 
-  const core::SynthesisResult result = core::synthesize(graph);
-  std::printf("%s", core::describe(graph, result).c_str());
-
-  sim::ConformanceOptions options;
-  options.runs = runs;
-  options.max_transitions = 60 * width;
-  const sim::ConformanceReport report = sim::check_conformance(graph, result.circuit, options);
   std::printf("\nstress result over %d randomized-delay runs:\n", runs);
   std::printf("  observable transitions (all spec-conformant): %ld\n",
-              report.external_transitions);
-  std::printf("  internal net toggles (SOP core may glitch):   %ld\n", report.internal_toggles);
-  std::printf("  violations: %zu, deadlocks: %d\n", report.violations.size(), report.deadlocks);
-  std::printf("=> %s\n", report.clean() ? "externally hazard-free" : "FAILED");
-  return report.clean() ? 0 : 1;
+              run.conformance.external_transitions);
+  std::printf("  internal net toggles (SOP core may glitch):   %ld\n",
+              run.conformance.internal_toggles);
+  std::printf("  violations: %zu, deadlocks: %d\n", run.conformance.violations.size(),
+              run.conformance.deadlocks);
+  std::printf("=> %s\n", run.ok() ? "externally hazard-free" : "FAILED");
+  return run.ok() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -6,15 +6,15 @@
 //   1. build the state graph through the public API,
 //   2. check the Theorem 2 preconditions,
 //   3. inspect regions (ER/QR/trigger, Definitions 5-7),
-//   4. synthesize the N-SHOT circuit (Figure 3),
-//   5. validate it in the closed-loop simulator under random gate delays.
+//   4. run the nshot::Pipeline facade: synthesis (Figure 3) plus
+//      closed-loop validation under random gate delays in one call,
+//   5. print the per-pass run report the pipeline's session collected.
 #include <cstdio>
 
 #include "bench_suite/generators.hpp"
-#include "nshot/synthesis.hpp"
+#include "nshot/pipeline.hpp"
 #include "sg/properties.hpp"
 #include "sg/regions.hpp"
-#include "sim/conformance.hpp"
 
 int main() {
   using namespace nshot;
@@ -36,25 +36,31 @@ int main() {
   const sg::SignalId c = *cell.find_signal("c");
   std::printf("\n%s", sg::compute_regions(cell, c).to_string(cell).c_str());
 
-  // 4. Synthesis: conventional two-level minimization, trigger check,
-  //    Eq. 1, architecture mapping.
-  const core::SynthesisResult result = core::synthesize(cell);
-  std::printf("\n%s", core::describe(cell, result).c_str());
-  std::printf("\nminimized joint set/reset cover (rows: input literals | outputs):\n%s",
-              result.cover.to_string().c_str());
-  std::printf("\nsynthesized N-SHOT netlist (Figure 3 architecture):\n%s",
-              result.circuit.to_string().c_str());
+  // 4. The facade: conventional two-level minimization, trigger check,
+  //    Eq. 1, architecture mapping, then closed-loop validation — many
+  //    random delay assignments; internal SOP nets may glitch, observable
+  //    signals must not.
+  PipelineOptions options;
+  options.conformance.runs = 20;
+  options.conformance.max_transitions = 150;
+  Pipeline pipeline(std::move(options));
+  const PipelineRun run = pipeline.run(cell);
 
-  // 5. Closed-loop validation: many random delay assignments; internal
-  //    SOP nets may glitch, observable signals must not.
-  sim::ConformanceOptions options;
-  options.runs = 20;
-  options.max_transitions = 150;
-  const sim::ConformanceReport conf = sim::check_conformance(cell, result.circuit, options);
-  std::printf("\nconformance: %s\n", conf.summary().c_str());
+  std::printf("\n%s", core::describe(cell, run.synthesis).c_str());
+  std::printf("\nminimized joint set/reset cover (rows: input literals | outputs):\n%s",
+              run.synthesis.cover.to_string().c_str());
+  std::printf("\nsynthesized N-SHOT netlist (Figure 3 architecture):\n%s",
+              run.synthesis.circuit.to_string().c_str());
+  std::printf("\nconformance: %s\n", run.conformance.summary().c_str());
   std::printf("=> circuit is externally hazard-free%s\n",
-              conf.internal_toggles > conf.external_transitions
+              run.conformance.internal_toggles > run.conformance.external_transitions
                   ? " (while the SOP core glitched internally)"
                   : "");
-  return conf.clean() ? 0 : 1;
+
+  // 5. The observability session the pipeline owned: what each pass cost.
+  const obs::RunReport timing = pipeline.report();
+  std::printf("\nper-pass breakdown (%.1f ms total):\n", timing.total_ms);
+  for (const obs::PassTime& pass : timing.passes)
+    std::printf("  %-14s %8.2f ms\n", pass.name.c_str(), pass.wall_ms);
+  return run.ok() ? 0 : 1;
 }

@@ -26,6 +26,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace nshot::exec {
 
 template <typename Value>
@@ -50,10 +52,12 @@ class MemoCache {
       const auto it = shard.map.find(key);
       if (it != shard.map.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::kMemoHits);
         return *it->second;
       }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::kMemoMisses);
     auto value = std::make_shared<const Value>(compute());
     {
       std::lock_guard<std::mutex> lock(shard.mutex);

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace nshot::exec {
@@ -37,6 +38,12 @@ int default_jobs() {
   const int set = g_default_jobs.load(std::memory_order_relaxed);
   return set >= 1 ? set : env_jobs();
 }
+
+// Let RunReport record the effective jobs value without obs linking
+// against exec.  Evaluated once before main(); any TU that uses the pool
+// pulls this object file in, so the hook is set whenever it matters.
+[[maybe_unused]] const bool g_obs_jobs_hook =
+    (obs::detail::g_default_jobs_provider = &default_jobs, true);
 
 void set_default_jobs(int jobs) {
   g_default_jobs.store(jobs >= 1 ? jobs : 0, std::memory_order_relaxed);
@@ -142,7 +149,21 @@ ThreadPool::~ThreadPool() { delete impl_; }
 
 int ThreadPool::num_threads() const { return static_cast<int>(impl_->workers.size()); }
 
-void ThreadPool::submit(std::function<void()> task) { impl_->submit(std::move(task)); }
+void ThreadPool::submit(std::function<void()> task) {
+  // Capture the submitting thread's active span so spans opened inside the
+  // task attach to it — parallel per-item spans nest under the caller's
+  // pass span exactly as a serial run would nest them.  When observability
+  // is disabled the context is 0 and the scope is a no-op.
+  const std::int64_t context = obs::detail::current_context();
+  if (context == 0) {
+    impl_->submit(std::move(task));
+    return;
+  }
+  impl_->submit([context, task = std::move(task)] {
+    obs::detail::ContextScope scope(context);
+    task();
+  });
+}
 
 ThreadPool& ThreadPool::shared() {
   // Big enough for the determinism tests' --jobs 8 even on small machines;

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "sim/delay_space.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -166,6 +167,7 @@ RestartOutcome climb_restart(const sg::StateGraph& spec, const netlist::Netlist&
 AdversarialResult adversarial_delay_search(const sg::StateGraph& spec,
                                            const netlist::Netlist& circuit,
                                            const AdversarialOptions& options) {
+  const obs::Span span("adversarial");
   const sim::CompiledNetlist compiled(circuit, gatelib::GateLibrary::standard());
   const sim::SpecBinding binding(spec, circuit);
   const sim::DelaySpace& space = compiled.delay_space();
@@ -199,6 +201,11 @@ AdversarialResult adversarial_delay_search(const sg::StateGraph& spec,
     }
     if (result.violation_found) break;
   }
+  // All restarts' evaluations, not just the merged ones: the counter
+  // reflects work actually done, so it is nondeterministic across jobs
+  // (parallel restarts past a violation still ran).
+  for (const RestartOutcome& out : restarts)
+    obs::count(obs::Counter::kAdversarialEvaluations, out.evaluations);
   return result;
 }
 

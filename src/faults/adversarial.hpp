@@ -18,29 +18,21 @@
 #include "netlist/netlist.hpp"
 #include "sg/state_graph.hpp"
 #include "sim/conformance.hpp"
+#include "util/run_config.hpp"
 
 namespace nshot::faults {
 
-struct AdversarialOptions {
-  std::uint64_t seed = 1;
+/// seed / jobs / grain / reference_kernels are the inherited
+/// nshot::RunConfig knobs.  Restarts run on independent (seed, restart)
+/// streams and merge in restart order — including the serial early-exit
+/// rule (restarts after the first violating one are discarded) — so the
+/// result is identical for every jobs value.  Monte Carlo baseline runs
+/// parallelize the same way.
+struct AdversarialOptions : RunConfig {
   int restarts = 2;
   int iterations = 250;        // accepted-or-rejected proposals per restart
   double stress_factor = 1.0;  // ≥ 1; stretches the library interval
   bool shave_delay_lines = false;
-  /// Worker threads (0 = exec::default_jobs()).  Restarts run on
-  /// independent (seed, restart) streams and merge in restart order —
-  /// including the serial early-exit rule (restarts after the first
-  /// violating one are discarded) — so the result is identical for every
-  /// jobs value.  Monte Carlo baseline runs parallelize the same way.
-  int jobs = 0;
-  /// Monte Carlo trials batched per scheduled task; each chunk reuses one
-  /// resettable Simulator (<= 0 = automatic batch size).  Hill-climb
-  /// restarts always reuse one Simulator across their whole climb.
-  int grain = 0;
-  /// Route every evaluation through the uncompiled reference path (fresh
-  /// netlist compile per run) — for kernel equivalence tests and
-  /// benchmarking only.
-  bool reference_kernels = false;
   ScenarioOptions run;
 };
 

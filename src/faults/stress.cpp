@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "sim/delay_space.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -33,6 +34,7 @@ void write_violations(JsonWriter& json, const sim::ConformanceReport& report) {
 
 StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                         const std::string& benchmark, const StressOptions& options) {
+  const obs::Span stress_span("stress");
   const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
   const double omega = lib.mhs_threshold();
   // Compile once for the whole campaign: every phase below runs against
@@ -58,36 +60,45 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
   // Phase 1: margin measurement over independent delay samples of the
   // UNFAULTED circuit.  Each probed run depends only on run_seed(seed, r);
   // runs execute in parallel and merge in run order.
-  std::vector<ProbedRun> probed(static_cast<std::size_t>(std::max(options.margin_runs, 0)));
-  exec::parallel_for_chunks(
-      options.margin_runs, options.grain,
-      [&](int begin, int end) {
-        std::optional<sim::Simulator> reuse;
-        if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
-        for (int r = begin; r < end; ++r) {
-          FaultScenario scenario;
-          scenario.seed = run_seed(options.seed, r);
-          probed[static_cast<std::size_t>(r)] =
-              options.reference_kernels
-                  ? run_probed(spec, circuit, scenario, options.run)
-                  : run_probed(spec, binding, compiled, scenario, options.run, &*reuse);
-        }
-      },
-      options.jobs);
-  for (const ProbedRun& run : probed) {
-    if (!run.report.clean()) report.baseline_clean = false;
-    for (int k = 0; k < cells.num_cells(); ++k)
-      report.signals[static_cast<std::size_t>(signal_of_cell[static_cast<std::size_t>(k)])]
-          .omega.merge(run.omega[static_cast<std::size_t>(k)]);
-    for (std::size_t k = 0; k < run.eq1.size(); ++k) {
-      SignalMargins& margins =
-          report.signals[static_cast<std::size_t>(signal_of_cell[static_cast<std::size_t>(k)])];
-      margins.min_eq1_slack = std::min(margins.min_eq1_slack, run.eq1[k].slack());
+  {
+    const obs::Span margins_span("margins");
+    std::vector<ProbedRun> probed(static_cast<std::size_t>(std::max(options.margin_runs, 0)));
+    exec::parallel_for_chunks(
+        options.margin_runs, options.grain,
+        [&](int begin, int end) {
+          std::optional<sim::Simulator> reuse;
+          if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+          for (int r = begin; r < end; ++r) {
+            FaultScenario scenario;
+            scenario.seed = run_seed(options.seed, r);
+            probed[static_cast<std::size_t>(r)] =
+                options.reference_kernels
+                    ? run_probed(spec, circuit, scenario, options.run)
+                    : run_probed(spec, binding, compiled, scenario, options.run, &*reuse);
+          }
+        },
+        options.jobs);
+    for (const ProbedRun& run : probed) {
+      if (!run.report.clean()) report.baseline_clean = false;
+      for (int k = 0; k < cells.num_cells(); ++k)
+        report.signals[static_cast<std::size_t>(signal_of_cell[static_cast<std::size_t>(k)])]
+            .omega.merge(run.omega[static_cast<std::size_t>(k)]);
+      for (std::size_t k = 0; k < run.eq1.size(); ++k) {
+        SignalMargins& margins =
+            report.signals[static_cast<std::size_t>(signal_of_cell[static_cast<std::size_t>(k)])];
+        margins.min_eq1_slack = std::min(margins.min_eq1_slack, run.eq1[k].slack());
+      }
     }
-  }
-  for (const SignalMargins& margins : report.signals) {
-    report.min_omega_slack = std::min(report.min_omega_slack, margins.omega.min_slack());
-    report.min_eq1_slack = std::min(report.min_eq1_slack, margins.min_eq1_slack);
+    for (const SignalMargins& margins : report.signals) {
+      report.min_omega_slack = std::min(report.min_omega_slack, margins.omega.min_slack());
+      report.min_eq1_slack = std::min(report.min_eq1_slack, margins.min_eq1_slack);
+      // kNoMargin is +inf, so a comparison doubles as the "was observed"
+      // test; unobserved margins would poison the gauge min/mean.
+      if (margins.omega.min_slack() < kNoMargin)
+        obs::gauge(obs::Gauge::kOmegaSlack, margins.omega.min_slack());
+      if (margins.min_eq1_slack < kNoMargin)
+        obs::gauge(obs::Gauge::kEq1Slack, margins.min_eq1_slack);
+    }
   }
 
   // Phase 2: deterministic fault battery per cell.  The battery is first
@@ -138,40 +149,44 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
     }
   }
 
-  std::vector<FaultOutcome> outcomes(battery.size());
-  exec::parallel_for_chunks(
-      static_cast<int>(battery.size()), options.grain,
-      [&](int begin, int end) {
-        std::optional<sim::Simulator> reuse;
-        if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
-        for (int j = begin; j < end; ++j) {
-          const BatteryEntry& entry = battery[static_cast<std::size_t>(j)];
-          FaultOutcome outcome;
-          outcome.fault = entry.fault;
-          outcome.signal = cells.cell_signal(entry.cell);
-          outcome.description = describe_fault(entry.fault, circuit);
-          FaultScenario scenario;
-          scenario.seed = options.seed;
-          scenario.faults.push_back(entry.fault);
-          const sim::ConformanceReport run =
-              options.reference_kernels
-                  ? run_scenario(spec, circuit, scenario, options.run)
-                  : run_scenario(spec, binding, compiled, scenario, options.run, nullptr,
-                                 &*reuse);
-          outcome.survived = run.clean();
-          if (!run.violations.empty())
-            outcome.violation =
-                std::string(sim::violation_kind_name(run.violations.front().kind)) + ": " +
-                run.violations.front().description;
-          outcomes[static_cast<std::size_t>(j)] = std::move(outcome);
-        }
-      },
-      options.jobs);
-  for (std::size_t j = 0; j < outcomes.size(); ++j) {
-    SignalMargins& margins = report.signals[static_cast<std::size_t>(
-        signal_of_cell[static_cast<std::size_t>(battery[j].cell)])];
-    (outcomes[j].survived ? margins.faults_survived : margins.faults_failed) += 1;
-    report.outcomes.push_back(std::move(outcomes[j]));
+  {
+    const obs::Span battery_span("battery");
+    obs::count(obs::Counter::kFaultsInjected, static_cast<long>(battery.size()));
+    std::vector<FaultOutcome> outcomes(battery.size());
+    exec::parallel_for_chunks(
+        static_cast<int>(battery.size()), options.grain,
+        [&](int begin, int end) {
+          std::optional<sim::Simulator> reuse;
+          if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+          for (int j = begin; j < end; ++j) {
+            const BatteryEntry& entry = battery[static_cast<std::size_t>(j)];
+            FaultOutcome outcome;
+            outcome.fault = entry.fault;
+            outcome.signal = cells.cell_signal(entry.cell);
+            outcome.description = describe_fault(entry.fault, circuit);
+            FaultScenario scenario;
+            scenario.seed = options.seed;
+            scenario.faults.push_back(entry.fault);
+            const sim::ConformanceReport run =
+                options.reference_kernels
+                    ? run_scenario(spec, circuit, scenario, options.run)
+                    : run_scenario(spec, binding, compiled, scenario, options.run, nullptr,
+                                   &*reuse);
+            outcome.survived = run.clean();
+            if (!run.violations.empty())
+              outcome.violation =
+                  std::string(sim::violation_kind_name(run.violations.front().kind)) + ": " +
+                  run.violations.front().description;
+            outcomes[static_cast<std::size_t>(j)] = std::move(outcome);
+          }
+        },
+        options.jobs);
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+      SignalMargins& margins = report.signals[static_cast<std::size_t>(
+          signal_of_cell[static_cast<std::size_t>(battery[j].cell)])];
+      (outcomes[j].survived ? margins.faults_survived : margins.faults_failed) += 1;
+      report.outcomes.push_back(std::move(outcomes[j]));
+    }
   }
 
   // Phase 3: adversarial delay-stress search.

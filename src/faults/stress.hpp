@@ -16,24 +16,16 @@
 #include "faults/minimize.hpp"
 #include "netlist/netlist.hpp"
 #include "sg/state_graph.hpp"
+#include "util/run_config.hpp"
 
 namespace nshot::faults {
 
-struct StressOptions {
-  std::uint64_t seed = 1;
-  /// Worker threads for the margin sweep and the fault battery (0 =
-  /// exec::default_jobs()).  Runs and battery entries are independent and
-  /// merged in their deterministic enumeration order, so the report (and
-  /// its JSON) is byte-identical for every jobs value.  The nested
-  /// adversarial search parallelizes through its own `adversarial.jobs`.
-  int jobs = 0;
-  /// Trials/battery entries batched per scheduled task; each chunk runs
-  /// through one resettable Simulator (<= 0 = automatic batch size).
-  int grain = 0;
-  /// Route every run through the uncompiled reference simulation path
-  /// (fresh netlist compile per run) -- for kernel equivalence tests and
-  /// benchmarking only.  Also forwarded to the adversarial search.
-  bool reference_kernels = false;
+/// seed / jobs / grain / reference_kernels are the inherited
+/// nshot::RunConfig knobs; runs and battery entries merge in their
+/// deterministic enumeration order, so the report (and its JSON) is
+/// byte-identical for every jobs value.  The nested adversarial search
+/// parallelizes through its own `adversarial.jobs`.
+struct StressOptions : RunConfig {
   /// Probed runs feeding the margin report (distinct delay samples).
   int margin_runs = 5;
   /// Glitch widths to inject, as multiples of the threshold ω.

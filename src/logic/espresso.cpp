@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace nshot::logic {
@@ -62,6 +63,7 @@ CoverCost cost_of(const Cover& cover) {
 
 void espresso_expand(Cover& cover, const TwoLevelSpec& spec, bool share_outputs) {
   const std::size_t n = cover.size();
+  obs::count(obs::Counter::kCubesExpanded, static_cast<long>(n));
   std::vector<bool> done(n, false);  // already expanded or absorbed
   std::vector<Cube> result;
   result.reserve(n);
@@ -235,6 +237,7 @@ void espresso_reduce(Cover& cover, const TwoLevelSpec& spec) {
 }
 
 Cover espresso(const TwoLevelSpec& spec, const EspressoOptions& options) {
+  const obs::Span span("espresso");
   TwoLevelSpec normalized = spec;
   normalized.normalize();
   normalized.validate();

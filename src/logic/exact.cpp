@@ -6,6 +6,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "logic/espresso.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace nshot::logic {
@@ -213,12 +214,12 @@ std::optional<std::vector<Cube>> generate_primes(const TwoLevelSpec& spec, int o
   // afterwards reproduces the (lo, hi) iteration order the ordered
   // reference sets give for free, so both paths emit identical primes.
   std::optional<std::vector<CubeKey>> keys =
-      options.reference_sets
+      options.use_reference_sets()
           ? enumerate_prime_keys<std::set<CubeKey>, false>(spec, o, options.max_primes)
           : enumerate_prime_keys<std::unordered_set<CubeKey, CubeKeyHash>, true>(
                 spec, o, options.max_primes);
   if (!keys) return std::nullopt;
-  if (!options.reference_sets) std::sort(keys->begin(), keys->end());
+  if (!options.use_reference_sets()) std::sort(keys->begin(), keys->end());
 
   std::vector<Cube> primes;
   primes.reserve(keys->size());
@@ -232,6 +233,7 @@ std::optional<std::vector<Cube>> generate_primes(const TwoLevelSpec& spec, int o
     }
     primes.push_back(cube);
   }
+  obs::count(obs::Counter::kPrimesGenerated, static_cast<long>(primes.size()));
   return primes;
 }
 
@@ -264,6 +266,7 @@ std::optional<Cover> exact_minimize_output(const TwoLevelSpec& spec, int o,
 }
 
 Cover exact_minimize(const TwoLevelSpec& spec, const ExactOptions& options) {
+  const obs::Span span("exact");
   TwoLevelSpec normalized = spec;
   normalized.normalize();
   normalized.validate();

@@ -13,23 +13,27 @@
 
 #include "logic/cover.hpp"
 #include "logic/spec.hpp"
+#include "util/run_config.hpp"
 
 namespace nshot::logic {
 
-struct ExactOptions {
+/// The inherited nshot::RunConfig `jobs` drives exact_minimize's
+/// per-output loop.  Outputs are independent covering problems; results
+/// concatenate in output order, so the cover is identical for every jobs
+/// value.
+struct ExactOptions : RunConfig {
   /// Abort exact minimization when more primes than this are generated.
   std::size_t max_primes = 20000;
   /// Abort the covering search after this many branch-and-bound nodes.
   std::size_t max_nodes = 200000;
-  /// Worker threads for exact_minimize's per-output loop (0 =
-  /// exec::default_jobs()).  Outputs are independent covering problems;
-  /// results concatenate in output order, so the cover is identical for
-  /// every jobs value.
-  int jobs = 0;
-  /// Enumerate prime keys through ordered std::set instead of the hashed
+  /// Deprecated alias for the inherited RunConfig::reference_kernels:
+  /// enumerate prime keys through ordered std::set instead of the hashed
   /// hot path — for kernel equivalence tests and benchmarking only.  Both
-  /// paths emit the primes in the same sorted (lo, hi) order.
+  /// paths emit the primes in the same sorted (lo, hi) order.  Either
+  /// spelling switches to the reference path.
   bool reference_sets = false;
+
+  bool use_reference_sets() const { return reference_sets || reference_kernels; }
 };
 
 /// All prime implicants of output `o` of `spec` (maximal cubes disjoint

@@ -1,0 +1,63 @@
+#include "nshot/pipeline.hpp"
+
+#include "stg/g_format.hpp"
+#include "stg/reachability.hpp"
+
+namespace nshot {
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
+  // Apply the shared RunConfig once, up front: every stage below sees the
+  // same seed / jobs / grain / reference_kernels regardless of what the
+  // caller left in the per-stage sub-structs.
+  options_.synthesis.apply_run_config(options_.run);
+  options_.conformance.apply_run_config(options_.run);
+  options_.stress.apply_run_config(options_.run);
+  options_.stress.adversarial.apply_run_config(options_.run);
+  if (options_.collect_observability && !obs::session_active())
+    session_ = std::make_unique<obs::Session>("nshot", options_.label);
+}
+
+Pipeline::~Pipeline() = default;
+
+PipelineRun Pipeline::run(const sg::StateGraph& sg) {
+  if (session_ && session_->label().empty()) session_->set_label(sg.name());
+
+  // Aggregate-built because SynthesisResult (Cover, TwoLevelSpec) has no
+  // default state — a run either synthesized or threw.
+  PipelineRun result{sg.name(), sg, core::synthesize(sg, options_.synthesis),
+                     {},    // conformance
+                     false,  // conformance_ran
+                     {},     // stress
+                     false};  // stress_ran
+
+  if (options_.verify_conformance) {
+    result.conformance =
+        sim::check_conformance(sg, result.synthesis.circuit, options_.conformance);
+    result.conformance_ran = true;
+  }
+  if (options_.stress_test) {
+    result.stress =
+        faults::run_stress(sg, result.synthesis.circuit, sg.name(), options_.stress);
+    result.stress_ran = true;
+  }
+  return result;
+}
+
+PipelineRun Pipeline::run_g(const std::string& g_text) {
+  const stg::Stg parsed = stg::parse_g(g_text);
+  return run(stg::build_state_graph(parsed));
+}
+
+obs::RunReport Pipeline::report() const {
+  return session_ ? session_->report() : obs::RunReport{};
+}
+
+std::string Pipeline::report_json(const obs::ReportOptions& options) const {
+  return session_ ? session_->report_json(options) : obs::report_json(obs::RunReport{}, options);
+}
+
+std::string Pipeline::trace_json(const obs::TraceOptions& options) const {
+  return session_ ? session_->trace_json(options) : std::string("{\"traceEvents\":[]}\n");
+}
+
+}  // namespace nshot

@@ -1,0 +1,98 @@
+// nshot::Pipeline — the one-call facade over the full N-SHOT flow:
+//
+//   STG (.g text)  --reachability-->  SG  --synthesize-->  netlist
+//        --check_conformance-->  closed-loop verification
+//        --run_stress-->        fault battery + margins (optional)
+//
+// plus an owned obs::Session so every run is traced and reportable
+// without the caller touching the observability layer.  The shared
+// nshot::RunConfig (seed / jobs / grain / reference_kernels) is applied
+// once here and propagated to every stage's options, replacing the
+// per-stage copies callers previously had to keep in sync.
+//
+// The facade adds no policy of its own: each stage is the same public
+// function the examples called directly, in the same order, with the
+// same defaults, so porting a caller to Pipeline changes no results.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "faults/stress.hpp"
+#include "nshot/synthesis.hpp"
+#include "obs/obs.hpp"
+#include "sg/state_graph.hpp"
+#include "sim/conformance.hpp"
+#include "util/run_config.hpp"
+
+namespace nshot {
+
+struct PipelineOptions {
+  /// Shared run knobs, applied to synthesis/conformance/stress before a
+  /// run (overriding whatever those sub-structs carry).
+  RunConfig run;
+  core::SynthesisOptions synthesis;
+  sim::ConformanceOptions conformance;
+  faults::StressOptions stress;
+
+  /// Closed-loop random-delay conformance check after synthesis.
+  bool verify_conformance = true;
+  /// Fault battery + margin sweep (slow; off by default).
+  bool stress_test = false;
+  /// Own an obs::Session for the Pipeline's lifetime.  When false (or when
+  /// a session already exists elsewhere) the pipeline runs uninstrumented
+  /// and trace_json()/report() return empty results.
+  bool collect_observability = true;
+  /// Report label; the first run's benchmark name when empty.
+  std::string label;
+};
+
+/// Everything one run produced.  Stage results keep their native types so
+/// existing consumers (describe(), stress_report_json(), ...) work as-is.
+struct PipelineRun {
+  std::string benchmark;
+  sg::StateGraph graph;  // the verified-against state graph
+  core::SynthesisResult synthesis;
+  sim::ConformanceReport conformance;  // default unless conformance_ran
+  bool conformance_ran = false;
+  faults::StressReport stress;  // default unless stress_ran
+  bool stress_ran = false;
+
+  /// Synthesized, conformant (when checked) and fault-clean (when stressed).
+  bool ok() const {
+    return (!conformance_ran || conformance.clean()) && (!stress_ran || stress.baseline_clean);
+  }
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Synthesize and verify an already-built state graph.
+  /// Throws core::SynthesisError when the SG is not implementable.
+  PipelineRun run(const sg::StateGraph& sg);
+
+  /// Parse `.g` STG text, build the reachability state graph, then run().
+  PipelineRun run_g(const std::string& g_text);
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// The owned session; nullptr when collect_observability was false or
+  /// another session was already active at construction.
+  obs::Session* session() { return session_.get(); }
+
+  /// Exporter pass-throughs; empty-session results when uninstrumented.
+  obs::RunReport report() const;
+  std::string report_json(const obs::ReportOptions& options = {}) const;
+  std::string trace_json(const obs::TraceOptions& options = {}) const;
+
+ private:
+  PipelineOptions options_;
+  std::unique_ptr<obs::Session> session_;
+};
+
+}  // namespace nshot

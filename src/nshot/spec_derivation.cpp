@@ -1,5 +1,6 @@
 #include "nshot/spec_derivation.hpp"
 
+#include "obs/obs.hpp"
 #include "sg/bitset.hpp"
 #include "util/error.hpp"
 
@@ -32,6 +33,7 @@ const OutputIndex& DerivedSpec::for_signal(sg::SignalId a) const {
 }
 
 DerivedSpec derive_spec(const sg::StateGraph& sg) {
+  const obs::Span span("spec_derivation");
   const std::vector<sg::SignalId> noninputs = sg.noninput_signals();
   NSHOT_REQUIRE(!noninputs.empty(), "state graph has no non-input signals to synthesize");
 

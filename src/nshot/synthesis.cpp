@@ -7,6 +7,7 @@
 #include "gatelib/gate_library.hpp"
 #include "logic/exact.hpp"
 #include "logic/verify.hpp"
+#include "obs/obs.hpp"
 #include "sg/properties.hpp"
 
 namespace nshot::core {
@@ -49,6 +50,8 @@ logic::Cover minimize_cached(const logic::TwoLevelSpec& spec, const SynthesisOpt
 }  // namespace
 
 SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& options) {
+  const obs::Span synth_span("synthesize");
+
   // 1. Theorem 2 preconditions.
   const sg::PropertyReport implementability = sg::check_implementability(sg);
   if (!implementability.ok())
@@ -61,10 +64,16 @@ SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& opt
   // 3. Conventional two-level minimization — no hazard constraints at all.
   // Memoized across synthesize() calls: the subproblem is a pure function
   // of the (F, D, R) spec and the minimizer knobs.
-  logic::Cover cover = minimize_cached(derived.spec, options);
+  logic::Cover cover = [&] {
+    const obs::Span span("minimize");
+    return minimize_cached(derived.spec, options);
+  }();
 
   // 4. Independent oracle.
-  const logic::VerifyResult verified = logic::verify_cover(derived.spec, cover);
+  const logic::VerifyResult verified = [&] {
+    const obs::Span span("verify_cover");
+    return logic::verify_cover(derived.spec, cover);
+  }();
   NSHOT_ASSERT(verified.ok, "minimizer produced an incorrect cover: " + verified.message);
 
   // 5. Trigger requirement (Theorem 1).
@@ -82,27 +91,34 @@ SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& opt
   // immutable cover and SG, so they run in parallel and land in signal
   // order.
   const gatelib::GateLibrary& lib = gatelib::GateLibrary::standard();
-  std::vector<SignalImplementation> signals = exec::parallel_map<SignalImplementation>(
-      static_cast<int>(derived.outputs.size()),
-      [&](int i) {
-        const OutputIndex& index = derived.outputs[static_cast<std::size_t>(i)];
-        SignalImplementation impl;
-        impl.signal = index.signal;
-        impl.set_cubes = cover.cube_count_for_output(index.set_output);
-        impl.reset_cubes = cover.cube_count_for_output(index.reset_output);
-        impl.delay = compute_delay_requirement(sop_levels(cover, index.set_output, lib),
-                                               sop_levels(cover, index.reset_output, lib), lib);
-        impl.init = analyze_initialization(sg, index.signal, cover, index);
-        return impl;
-      },
-      options.jobs);
+  std::vector<SignalImplementation> signals = [&] {
+    const obs::Span analysis_span("signal_analysis");
+    return exec::parallel_map<SignalImplementation>(
+        static_cast<int>(derived.outputs.size()),
+        [&](int i) {
+          const obs::Span span("signal", i);
+          const OutputIndex& index = derived.outputs[static_cast<std::size_t>(i)];
+          SignalImplementation impl;
+          impl.signal = index.signal;
+          impl.set_cubes = cover.cube_count_for_output(index.set_output);
+          impl.reset_cubes = cover.cube_count_for_output(index.reset_output);
+          impl.delay = compute_delay_requirement(sop_levels(cover, index.set_output, lib),
+                                                 sop_levels(cover, index.reset_output, lib), lib);
+          impl.init = analyze_initialization(sg, index.signal, cover, index);
+          return impl;
+        },
+        options.jobs);
+  }();
   std::vector<DelayRequirement> delays;
   for (const SignalImplementation& impl : signals) delays.push_back(impl.delay);
 
   // 7. Architecture mapping.
   ArchitectureOptions arch;
   arch.insert_delay_lines = options.insert_delay_lines;
-  netlist::Netlist circuit = build_nshot_netlist(sg, derived, cover, delays, arch);
+  netlist::Netlist circuit = [&] {
+    const obs::Span span("architecture");
+    return build_nshot_netlist(sg, derived, cover, delays, arch);
+  }();
 
   SynthesisResult result{std::move(circuit), std::move(cover), std::move(derived),
                          std::move(signals), std::move(trigger),

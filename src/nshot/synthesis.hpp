@@ -24,6 +24,7 @@
 #include "nshot/trigger.hpp"
 #include "sg/regions.hpp"
 #include "util/error.hpp"
+#include "util/run_config.hpp"
 
 namespace nshot::core {
 
@@ -34,7 +35,12 @@ class SynthesisError : public Error {
   using Error::Error;
 };
 
-struct SynthesisOptions {
+/// The inherited nshot::RunConfig `jobs` drives per-signal work —
+/// per-output exact minimization and the Eq. 1 / initialization analyses,
+/// which are independent across signals once the joint (F, D, R) spec is
+/// derived.  Results merge in signal order, so the synthesized netlist is
+/// identical for every jobs value.
+struct SynthesisOptions : RunConfig {
   /// Use exact (Quine-McCluskey + branch-and-bound) minimization per
   /// output instead of the heuristic multi-output loop.
   bool exact = false;
@@ -42,12 +48,6 @@ struct SynthesisOptions {
   bool share_products = true;
   /// Insert delay compensation lines when Eq. 1 requires them.
   bool insert_delay_lines = true;
-  /// Worker threads for per-signal work — per-output exact minimization
-  /// and the Eq. 1 / initialization analyses, which are independent across
-  /// signals once the joint (F, D, R) spec is derived (0 =
-  /// exec::default_jobs()).  Results merge in signal order, so the
-  /// synthesized netlist is identical for every jobs value.
-  int jobs = 0;
   /// Reuse minimization results across synthesize() calls through a
   /// process-wide cross-thread cache keyed on the serialized (F, D, R)
   /// spec and minimizer knobs.  Identical subproblems (ablation benches,

@@ -1,5 +1,6 @@
 #include "nshot/trigger.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace nshot::core {
@@ -32,6 +33,7 @@ TriggerReport enforce_trigger_requirement(const sg::StateGraph& sg,
                                           const std::vector<sg::SignalRegions>& regions,
                                           const DerivedSpec& derived, logic::Cover& cover,
                                           const TriggerOptions& options) {
+  const obs::Span span("trigger");
   TriggerReport report;
   for (const sg::SignalRegions& signal_regions : regions) {
     const OutputIndex& index = derived.for_signal(signal_regions.signal);
@@ -54,7 +56,7 @@ TriggerReport enforce_trigger_requirement(const sg::StateGraph& sg,
         supercube.set_outputs(1ULL << output);
 
         bool covered;
-        if (options.reference_membership) {
+        if (options.use_reference_membership()) {
           covered = has_trigger_cube(cover, output, codes);
         } else {
           covered = false;
@@ -76,6 +78,7 @@ TriggerReport enforce_trigger_requirement(const sg::StateGraph& sg,
       }
     }
   }
+  obs::count(obs::Counter::kTriggerCubesAdded, report.cubes_added);
   if (report.cubes_added > 0) cover.remove_contained();
   return report;
 }

@@ -24,6 +24,7 @@
 #include "nshot/spec_derivation.hpp"
 #include "sg/regions.hpp"
 #include "sg/state_graph.hpp"
+#include "util/run_config.hpp"
 
 namespace nshot::core {
 
@@ -52,11 +53,16 @@ struct TriggerReport {
 bool has_trigger_cube(const logic::Cover& cover, int output,
                       const std::vector<std::uint64_t>& codes);
 
-struct TriggerOptions {
-  // Use the code-at-a-time has_trigger_cube scan instead of the
-  // supercube-containment fast path — byte-equality oracle for
-  // tests/benches.
+struct TriggerOptions : RunConfig {
+  /// Deprecated alias for the inherited RunConfig::reference_kernels:
+  /// use the code-at-a-time has_trigger_cube scan instead of the
+  /// supercube-containment fast path — byte-equality oracle for
+  /// tests/benches.  Either spelling switches to the reference path.
   bool reference_membership = false;
+
+  bool use_reference_membership() const {
+    return reference_membership || reference_kernels;
+  }
 };
 
 /// Check all trigger regions of all non-input signals against `cover` and

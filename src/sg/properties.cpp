@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sg/bitset.hpp"
 #include "util/error.hpp"
 
@@ -244,6 +245,7 @@ bool is_distributive(const StateGraph& sg) {
 }
 
 PropertyReport check_implementability(const StateGraph& sg) {
+  const obs::Span span("implementability");
   PropertyReport report;
   using Checker = PropertyReport (*)(const StateGraph&);
   for (const Checker check : {Checker{&check_consistency}, Checker{&check_reachability},

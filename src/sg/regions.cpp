@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "sg/bitset.hpp"
 #include "util/error.hpp"
 
@@ -288,6 +289,7 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
       result.regions.push_back(std::move(er));
     }
   }
+  obs::count(obs::Counter::kRegionsExtracted, static_cast<long>(result.regions.size()));
   return result;
 }
 
@@ -302,6 +304,7 @@ SignalRegions compute_regions_reference(const StateGraph& sg, SignalId a) {
 }
 
 std::vector<SignalRegions> compute_all_regions(const StateGraph& sg) {
+  const obs::Span span("regions");
   std::vector<SignalRegions> all;
   for (const SignalId a : sg.noninput_signals()) all.push_back(compute_regions(sg, a));
   return all;

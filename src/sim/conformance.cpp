@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -272,6 +273,7 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
   // sweep is an order-independent bag of work; only the merge is ordered.
   // Chunking lets each scheduled task run many sub-millisecond trials
   // through one resettable Simulator.
+  const obs::Span conf_span("conformance");
   const SpecBinding binding(spec, compiled.netlist());
   auto trial_config = [&](int r) {
     ClosedLoopConfig config;
@@ -289,6 +291,11 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
   exec::parallel_for_chunks(
       options.runs, options.grain,
       [&](int begin, int end) {
+        // Chunk boundaries are a scheduling detail (they move with jobs /
+        // grain), so the span is task-scoped: dropped from deterministic
+        // exports, kept in wall-clock traces.
+        const obs::Span chunk_span = obs::Span::task("trials", begin);
+        obs::count(obs::Counter::kTrialsRun, end - begin);
         std::optional<Simulator> sim;  // one per chunk, reset per trial
         for (int r = begin; r < end; ++r) {
           const ClosedLoopConfig config = trial_config(r);

@@ -20,26 +20,17 @@
 #include "netlist/netlist.hpp"
 #include "sg/state_graph.hpp"
 #include "sim/event_sim.hpp"
+#include "util/run_config.hpp"
 
 namespace nshot::sim {
 
 class VcdRecorder;
 
-struct ConformanceOptions {
-  std::uint64_t seed = 1;
+/// The shared seed / jobs / grain / reference_kernels knobs live in
+/// nshot::RunConfig; the old spellings (`options.seed`, `options.jobs`,
+/// ...) are inherited members and keep compiling unchanged.
+struct ConformanceOptions : RunConfig {
   int runs = 20;                 // independent delay samples
-  /// Worker threads for the seed sweep (0 = exec::default_jobs()).  Each
-  /// trial is reproducible from (seed, run) alone and results are merged
-  /// in run order, so the report is byte-identical for every jobs value.
-  int jobs = 0;
-  /// Trials batched per scheduled task (exec::parallel_for_chunks); one
-  /// Simulator is constructed per chunk and reset() between trials.
-  /// <= 0 picks a batch size from runs and the worker count.
-  int grain = 0;
-  /// Route every trial through the uncompiled reference path (fresh
-  /// netlist compile + simulator per trial).  Slow; exists so the kernel
-  /// equivalence tests and bench_kernels can compare against it.
-  bool reference_kernels = false;
   int max_transitions = 200;     // observable transitions per run
   double input_delay_min = 0.1;  // environment reaction interval
   double input_delay_max = 12.0;

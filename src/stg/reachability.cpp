@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace nshot::stg {
@@ -258,6 +259,7 @@ std::vector<TransitionId> dead_transitions_impl(const Stg& stg,
 
 template <template <typename> class MapT, typename Firing>
 sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions& options) {
+  const obs::Span reach_span("reachability");
   const Firing firing(stg);
   const std::vector<bool> initial_values = infer_initial_values_impl<MapT, Firing>(stg, options);
 
@@ -321,6 +323,7 @@ sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions&
       }
     }
   }
+  obs::count(obs::Counter::kStatesVisited, graph.num_states());
   return graph;
 }
 

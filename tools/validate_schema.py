@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against one of the checked-in schemas.
+
+Dependency-free on purpose: CI images carry a bare python3, so this
+implements the small JSON-Schema subset the schemas under schemas/
+actually use (type, properties, required, additionalProperties, items,
+enum, minimum, anyOf) instead of importing jsonschema.
+
+Usage: validate_schema.py SCHEMA.json DOCUMENT.json
+Exits 0 when the document conforms, 1 with one line per violation.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name == "integer":
+        # JSON has one number type; accept 3.0 but not 3.5 and never bool.
+        return not isinstance(value, bool) and (
+            isinstance(value, int) or (isinstance(value, float) and value.is_integer())
+        )
+    if name == "number":
+        return not isinstance(value, bool) and isinstance(value, (int, float))
+    return isinstance(value, TYPES[name])
+
+
+def validate(value, schema, path, errors):
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+            return
+
+    if "anyOf" in schema:
+        branches = []
+        for option in schema["anyOf"]:
+            attempt = []
+            validate(value, option, path, attempt)
+            if not attempt:
+                return
+            branches.append(attempt)
+        # All branches failed; report the closest one (fewest violations).
+        errors.extend(min(branches, key=len))
+        return
+
+    if "type" in schema and not type_ok(value, schema["type"]):
+        errors.append(f"{path}: expected {schema['type']}, got {type(value).__name__}")
+        return
+
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in properties:
+                validate(item, properties[key], f"{path}.{key}", errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                validate(item, additional, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    with open(argv[2]) as f:
+        document = json.load(f)
+    errors = []
+    validate(document, schema, "$", errors)
+    for error in errors:
+        print(f"{argv[2]}: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{argv[2]}: conforms to {schema.get('title', argv[1])}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,6 +8,7 @@
 // Every option lives in kFlags below — one table row carries the name, the
 // value placeholder, the help line and the handler, and --help is generated
 // from the same table, so the parser and its documentation cannot drift.
+#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "faults/stress.hpp"
 #include "logic/pla.hpp"
 #include "netlist/verilog.hpp"
+#include "nshot/batch.hpp"
 #include "nshot/synthesis.hpp"
 #include "obs/obs.hpp"
 #include "sg/dot.hpp"
@@ -48,6 +50,12 @@ struct Cli {
   std::string stress_out, stress_vcd = "stress_witness.vcd";
   std::string trace_file, report_file;
   bool trace_deterministic = false;
+  // Batch / soak execution (nshot::BatchRunner).
+  std::string batch_file, batch_journal, batch_summary, soak_params;
+  int soak = 0, batch_retries = 1, batch_stop_after = 0;
+  std::uint64_t soak_seed = 1;
+  double deadline_ms = 0, stage_deadline_ms = 0;
+  bool verify_kernels = false, inject_kernel_fault = false;
 };
 
 /// One command-line option: `metavar == nullptr` means a boolean flag, any
@@ -115,6 +123,41 @@ constexpr FlagSpec kFlags[] = {
     {"--stress-deepen", "N",
      "max buffer levels tried when picking the under-compensated signal (default 2)",
      [](Cli& c, const char* v) { c.stress_deepen = parse_int(v, 1, 64, "--stress-deepen"); }},
+    {"--batch", "FILE", "run a batch manifest (<id> bench:N|file:P|gen:S [key=value ...])",
+     [](Cli& c, const char* v) { c.batch_file = v; }},
+    {"--soak", "N", "soak: run N seeded random semi-modular STGs as a batch",
+     [](Cli& c, const char* v) { c.soak = parse_int(v, 1, 1'000'000, "--soak"); }},
+    {"--soak-seed", "S", "base seed of the soak campaign (default 1)",
+     [](Cli& c, const char* v) {
+       c.soak_seed = static_cast<std::uint64_t>(parse_long(v, 0, LONG_MAX, "--soak-seed"));
+     }},
+    {"--soak-params", "KV", "extra key=value params appended to every soak run (space-separated)",
+     [](Cli& c, const char* v) { c.soak_params = v; }},
+    {"--batch-journal", "FILE",
+     "crash-safe JSONL journal; an interrupted batch resumes by skipping journaled runs",
+     [](Cli& c, const char* v) { c.batch_journal = v; }},
+    {"--batch-summary", "FILE", "write the batch summary JSON to FILE instead of stdout",
+     [](Cli& c, const char* v) { c.batch_summary = v; }},
+    {"--batch-retries", "N", "retries for transient failures per run (default 1)",
+     [](Cli& c, const char* v) { c.batch_retries = parse_int(v, 0, 100, "--batch-retries"); }},
+    {"--batch-stop-after", "N", "stop after N executed runs (crash simulation for resume tests)",
+     [](Cli& c, const char* v) {
+       c.batch_stop_after = parse_int(v, 1, 1'000'000, "--batch-stop-after");
+     }},
+    {"--deadline-ms", "MS", "whole-run wall-clock budget; overruns become clean deadline errors",
+     [](Cli& c, const char* v) { c.deadline_ms = parse_double(v, 0, 1e9, "--deadline-ms"); }},
+    {"--stage-deadline-ms", "MS", "per-stage wall-clock budget",
+     [](Cli& c, const char* v) {
+       c.stage_deadline_ms = parse_double(v, 0, 1e9, "--stage-deadline-ms");
+     }},
+    {"--verify-kernels", nullptr,
+     "cross-check optimized kernels against the reference oracles; divergence degrades "
+     "to a reference-kernel retry",
+     [](Cli& c, const char*) { c.verify_kernels = true; }},
+    {"--inject-kernel-fault", nullptr,
+     "TESTING: perturb compiled-kernel results so --verify-kernels trips and the "
+     "fallback path is exercised",
+     [](Cli& c, const char*) { c.inject_kernel_fault = true; }},
     {"--trace", "FILE", "write a Chrome trace_event JSON of the run to FILE",
      [](Cli& c, const char* v) { c.trace_file = v; }},
     {"--report", "FILE", "write a flat run report JSON (passes, counters, RSS) to FILE",
@@ -197,6 +240,58 @@ int main(int argc, char** argv) {
                   info.nondistributive ? "no" : "yes");
     return 0;
   }
+  if (cli.inject_kernel_fault) sim::testing::set_kernel_fault_injection(true);
+
+  if (!cli.batch_file.empty() || cli.soak > 0) {
+    try {
+      BatchOptions bopt;
+      bopt.journal_path = cli.batch_journal;
+      bopt.max_retries = cli.batch_retries;
+      bopt.stop_after = cli.batch_stop_after;
+      bopt.pipeline.run.deadline_ms = cli.deadline_ms;
+      bopt.pipeline.run.stage_deadline_ms = cli.stage_deadline_ms;
+      bopt.pipeline.run.verify_kernels = cli.verify_kernels;
+      bopt.pipeline.run.jobs = cli.jobs;
+      bopt.pipeline.conformance.runs = cli.check_runs;
+      bopt.pipeline.synthesis.exact = cli.exact;
+      bopt.pipeline.stress_test = cli.stress;
+      bopt.pipeline.stress.margin_runs = cli.stress_runs;
+
+      std::string manifest_text;
+      if (cli.soak > 0) {
+        manifest_text = BatchRunner::soak_manifest(cli.soak, cli.soak_seed, cli.soak_params);
+      } else {
+        std::ifstream stream(cli.batch_file);
+        if (!stream) throw Error("cannot open batch manifest " + cli.batch_file);
+        std::stringstream buffer;
+        buffer << stream.rdbuf();
+        manifest_text = buffer.str();
+      }
+
+      BatchRunner runner(bopt);
+      const BatchSummary summary = runner.run(BatchRunner::parse_manifest(manifest_text));
+      const std::string json = summary.to_json();
+      if (cli.batch_summary.empty()) {
+        std::printf("%s", json.c_str());
+      } else {
+        write_file(cli.batch_summary, json);
+      }
+      std::fprintf(stderr,
+                   "batch: %d run(s) — %d ok, %d failed, %d resumed, %d retried%s\n",
+                   summary.total, summary.succeeded, summary.failed, summary.resumed,
+                   summary.retries, summary.stopped_early ? " (stopped early)" : "");
+      for (const auto& [code, count] : summary.failures_by_code)
+        std::fprintf(stderr, "  %-20s %d\n", code.c_str(), count);
+      // Classified circuit failures are a finding, not a harness error; the
+      // exit code flags only internal failures (bugs) and unfinished work.
+      const bool internal_failure = summary.failures_by_code.count("internal") != 0;
+      return internal_failure ? 1 : 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
   if (cli.input_file.empty() && cli.benchmark.empty()) {
     print_help();
     return 2;
@@ -278,7 +373,17 @@ int main(int argc, char** argv) {
     if (cli.check_runs > 0) {
       sim::ConformanceOptions copt;
       copt.runs = cli.check_runs;
-      const sim::ConformanceReport report = sim::check_conformance(graph, result.circuit, copt);
+      copt.verify_kernels = cli.verify_kernels;
+      sim::ConformanceReport report;
+      try {
+        report = sim::check_conformance(graph, result.circuit, copt);
+      } catch (const Error& e) {
+        if (e.code() != ErrorCode::kKernelMismatch) throw;
+        std::printf("\nkernel mismatch: %s\nretrying on the reference kernels\n", e.what());
+        copt.reference_kernels = true;
+        copt.verify_kernels = false;
+        report = sim::check_conformance(graph, result.circuit, copt);
+      }
       std::printf("\nconformance: %s\n", report.summary().c_str());
       if (!report.clean()) return 1;
     }

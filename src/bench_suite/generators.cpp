@@ -1,10 +1,12 @@
 #include "bench_suite/generators.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "stg/g_format.hpp"
 #include "stg/reachability.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace nshot::bench_suite {
 namespace {
@@ -99,6 +101,108 @@ std::string parallel_chains_g(const std::string& name, const std::string& master
 
 sg::StateGraph build_g(const std::string& g_text) {
   return stg::build_state_graph(stg::parse_g(g_text));
+}
+
+namespace {
+
+/// Split `names` (suffixed with `polarity`) into 1..max_stages consecutive
+/// groups with random boundaries — the stage structure of every
+/// reconstructed benchmark above, with the cut points drawn instead of
+/// hand-picked.
+std::vector<std::vector<std::string>> random_stages(Rng& rng,
+                                                    const std::vector<std::string>& names,
+                                                    char polarity, int max_stages) {
+  std::vector<std::vector<std::string>> stages(1);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!stages.back().empty() && static_cast<int>(stages.size()) < max_stages &&
+        rng.next_bool(0.45))
+      stages.emplace_back();
+    stages.back().push_back(names[i] + polarity);
+  }
+  return stages;
+}
+
+}  // namespace
+
+std::string random_semimodular_g(const RandomStgOptions& options) {
+  NSHOT_REQUIRE(options.max_signals >= 3, "random STG needs max_signals >= 3");
+  Rng rng(options.seed ^ 0xa5a5'5a5a'1234'9e37ULL);
+  const std::string name = "rand" + std::to_string(options.seed);
+  const int family = static_cast<int>(rng.next_below(3));
+
+  auto signal_name = [](int i) { return "x" + std::to_string(i); };
+
+  if (family == 0) {
+    // Staged cycle: n signals, a random nonempty proper prefix of which are
+    // inputs; the rising phase and the falling phase are staged with
+    // independent random barriers (mirroring chu150, where the two phases
+    // cut differently).
+    const int n = 3 + static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(options.max_signals - 2)));
+    const int num_inputs = 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+    std::vector<std::string> inputs, outputs, all;
+    for (int i = 0; i < n; ++i) {
+      all.push_back(signal_name(i));
+      (i < num_inputs ? inputs : outputs).push_back(all.back());
+    }
+    const int max_stages = 1 + n / 2;
+    std::vector<std::vector<std::string>> stages = random_stages(rng, all, '+', max_stages);
+    for (auto& stage : random_stages(rng, all, '-', max_stages))
+      stages.push_back(std::move(stage));
+    return staged_cycle_g(name, inputs, outputs, stages);
+  }
+
+  if (family == 1) {
+    // Parallel chains: an input master releases 2..4 concurrent chains;
+    // each chain leads with an input request and continues through output
+    // stages (the wrdatab shape).
+    const int num_chains =
+        2 + static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(std::max(1, (options.max_signals - 2) / 2))));
+    std::vector<std::vector<std::string>> chains;
+    std::vector<std::string> inputs, outputs;
+    int next = 0;
+    for (int c = 0; c < num_chains && next < options.max_signals; ++c) {
+      std::vector<std::string> chain;
+      chain.push_back(signal_name(next++));
+      inputs.push_back(chain.back());
+      // The first chain always carries an output so the circuit has
+      // something to synthesize even when every other draw comes up empty.
+      const int extra = (c == 0 ? 1 : 0) + static_cast<int>(rng.next_below(c == 0 ? 2 : 3));
+      for (int i = 0; i < extra && next < options.max_signals; ++i) {
+        chain.push_back(signal_name(next++));
+        outputs.push_back(chain.back());
+      }
+      chains.push_back(std::move(chain));
+    }
+    return parallel_chains_g(name, "m", /*master_is_input=*/true, chains, inputs, outputs);
+  }
+
+  // Choice cycle: a free-choice place selects one of 2..3 handshake
+  // branches; each branch is `req+ outs+ req- outs-` over branch-private
+  // signals, so the choice is confined to input transitions and distinct
+  // branches cannot share codes.
+  const int num_branches = 2 + static_cast<int>(rng.next_below(2));
+  std::vector<std::vector<std::string>> branches;
+  std::vector<std::string> inputs, outputs;
+  int next = 0;
+  for (int b = 0; b < num_branches; ++b) {
+    const std::string req = signal_name(next++);
+    inputs.push_back(req);
+    std::vector<std::string> outs;
+    const int extra = 1 + static_cast<int>(rng.next_below(2));
+    for (int i = 0; i < extra && next < options.max_signals; ++i) {
+      outs.push_back(signal_name(next++));
+      outputs.push_back(outs.back());
+    }
+    std::vector<std::string> branch;
+    branch.push_back(req + "+");
+    for (const std::string& o : outs) branch.push_back(o + "+");
+    branch.push_back(req + "-");
+    for (const std::string& o : outs) branch.push_back(o + "-");
+    branches.push_back(std::move(branch));
+  }
+  return choice_cycle_g(name, inputs, outputs, branches);
 }
 
 sg::StateGraph or_causality_cell(const std::string& name, const std::string& prefix) {

@@ -70,4 +70,26 @@ sg::StateGraph or_causality_cell(const std::string& name, const std::string& pre
 sg::StateGraph sg_product(const sg::StateGraph& a, const sg::StateGraph& b,
                           const std::string& name);
 
+/// Knobs for random_semimodular_g.  Everything is derived from `seed`
+/// alone, so a soak campaign is reproducible from its base seed and the
+/// per-circuit seeds (run_seed(base, i)) name individual failures.
+struct RandomStgOptions {
+  std::uint64_t seed = 1;
+  /// Upper bound on non-master signals (the generator draws the actual
+  /// count per family; >= 3 required so every family fits).
+  int max_signals = 7;
+};
+
+/// A seeded random STG in .g text, drawn from the same structural families
+/// as the benchmark reconstructions above — staged cycles, parallel
+/// chains, and choice cycles.  Staged cycles and parallel chains are
+/// marked graphs, hence persistent and semi-modular by construction;
+/// choice cycles confine free choice to input transitions (allowed input
+/// choice).  The circuit name encodes the seed ("rand<seed>"), so any
+/// soak failure is reproducible from its manifest line alone.  Shapes are
+/// drawn to usually satisfy CSC, but not every draw is implementable —
+/// the soak harness counts kUnimplementable rejections as a classified
+/// outcome, not an error.
+std::string random_semimodular_g(const RandomStgOptions& options);
+
 }  // namespace nshot::bench_suite

@@ -1,0 +1,183 @@
+#include "exec/cancel.hpp"
+
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace nshot::exec {
+
+struct CancelToken::State {
+  std::atomic<bool> cancelled{false};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  mutable std::mutex mutex;          // guards reason
+  std::string reason;
+
+  /// Deadline tokens read the clock lazily: flag first, clock second.
+  bool fired() const {
+    if (cancelled.load(std::memory_order_acquire)) return true;
+    if (!has_deadline) return false;
+    return std::chrono::steady_clock::now() >= deadline;
+  }
+
+  void fire(const std::string& why) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!cancelled.exchange(true, std::memory_order_acq_rel) && reason.empty()) reason = why;
+  }
+
+  std::string why() const {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!reason.empty()) return reason;
+    }
+    if (cancelled.load(std::memory_order_acquire)) return "cancelled";
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline)
+      return "deadline exceeded";
+    return "";
+  }
+};
+
+namespace {
+
+// The thread-current token state.  A raw shared_ptr copy per CancelScope;
+// checkpoints read the pointer without refcount traffic.
+thread_local std::shared_ptr<CancelToken::State> t_current;
+
+// Deadline tokens only consult the steady clock every kDeadlineStride-th
+// checkpoint on a given thread, bounding the cost of checkpointing very
+// tight loops while keeping overrun detection within a few microseconds
+// of work.
+constexpr int kDeadlineStride = 256;
+thread_local int t_stride = 0;
+
+}  // namespace
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+CancelToken CancelToken::with_deadline(double budget_ms) {
+  CancelToken token;
+  if (budget_ms > 0) {
+    token.state_->has_deadline = true;
+    token.state_->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(budget_ms));
+  }
+  return token;
+}
+
+void CancelToken::cancel(const std::string& reason) const { state_->fire(reason); }
+
+bool CancelToken::cancelled() const { return state_->fired(); }
+
+std::string CancelToken::reason() const { return state_->why(); }
+
+double CancelToken::remaining_ms() const {
+  if (state_->cancelled.load(std::memory_order_acquire)) return 0.0;
+  if (!state_->has_deadline) return std::numeric_limits<double>::infinity();
+  const auto left = state_->deadline - std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(left).count();
+  return ms > 0 ? ms : 0.0;
+}
+
+void CancelToken::checkpoint() const {
+  if (state_->fired())
+    throw Error(ErrorCode::kDeadlineExceeded,
+                "work cancelled: " + state_->why());
+}
+
+CancelScope::CancelScope(const CancelToken& token) : previous_(std::move(t_current)) {
+  t_current = token.state_;
+}
+
+CancelScope::~CancelScope() { t_current = std::move(previous_); }
+
+void checkpoint() {
+  const std::shared_ptr<CancelToken::State>& state = t_current;
+  if (!state) return;
+  if (state->cancelled.load(std::memory_order_acquire)) {
+    throw Error(ErrorCode::kDeadlineExceeded, "work cancelled: " + state->why());
+  }
+  if (!state->has_deadline) return;
+  if (++t_stride < kDeadlineStride) return;
+  t_stride = 0;
+  if (std::chrono::steady_clock::now() >= state->deadline)
+    throw Error(ErrorCode::kDeadlineExceeded, "work cancelled: " + state->why());
+}
+
+bool cancel_requested() {
+  const std::shared_ptr<CancelToken::State>& state = t_current;
+  return state && state->fired();
+}
+
+CancelToken current_token() {
+  CancelToken token;
+  if (t_current) token.state_ = t_current;
+  return token;
+}
+
+namespace detail {
+
+std::shared_ptr<void> capture_current() { return t_current; }
+
+PropagateScope::PropagateScope(const std::shared_ptr<void>& state) {
+  if (!state) return;
+  previous_ = std::move(t_current);
+  t_current = std::static_pointer_cast<CancelToken::State>(state);
+  installed_ = true;
+}
+
+PropagateScope::~PropagateScope() {
+  if (installed_) t_current = std::static_pointer_cast<CancelToken::State>(previous_);
+}
+
+}  // namespace detail
+
+struct Watchdog::Impl {
+  CancelToken token;
+  std::string reason;
+  std::chrono::steady_clock::time_point deadline;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool disarmed = false;
+  std::thread thread;
+
+  Impl(const CancelToken& t, double budget_ms, std::string why)
+      : token(t),
+        reason(std::move(why)),
+        deadline(std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(budget_ms > 0 ? budget_ms : 0))) {
+    thread = std::thread([this] { run(); });
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!disarmed) {
+      if (token.cancelled()) return;
+      if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (!disarmed) token.cancel(reason);
+        return;
+      }
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      disarmed = true;
+    }
+    cv.notify_all();
+    thread.join();
+  }
+};
+
+Watchdog::Watchdog(const CancelToken& token, double budget_ms, std::string reason)
+    : impl_(std::make_unique<Impl>(token, budget_ms, std::move(reason))) {}
+
+Watchdog::~Watchdog() = default;
+
+}  // namespace nshot::exec

@@ -1,0 +1,130 @@
+// Cooperative cancellation and deadlines for the long-running passes.
+//
+// A CancelToken is a shared handle to one cancellation flag plus an
+// optional wall-clock deadline.  Work is cancelled cooperatively: the
+// parallel engine checks the thread-current token at chunk boundaries, and
+// the long serial loops (reachability BFS, region flood, exact prime
+// generation, adversarial climbs) call exec::checkpoint() at iteration
+// boundaries.  A fired token makes the next checkpoint throw
+// nshot::Error(kDeadlineExceeded), which unwinds to the stage boundary
+// where Pipeline::run_checked converts it into a clean classified result
+// with partial diagnostics — no thread is ever killed, no invariant is
+// left broken mid-update.
+//
+// Install a token for a region of work with CancelScope (RAII, per
+// thread).  exec::ThreadPool::submit captures the submitting thread's
+// current token and re-installs it on the worker, so a parallel_for under
+// a deadline is covered on every participating thread, exactly like the
+// obs span context.
+//
+// Checkpoints are cheap: no token installed -> one thread_local load; a
+// token without a deadline -> one relaxed atomic load; deadlines read the
+// steady clock only every kDeadlineStride-th call (see checkpoint()).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+namespace nshot::exec {
+
+class CancelToken {
+ public:
+  /// A token that never fires (useful as a default).
+  CancelToken();
+
+  /// A token that fires `budget_ms` from now (<= 0 = no deadline).
+  static CancelToken with_deadline(double budget_ms);
+
+  /// Fire the token.  The first caller's reason wins; later calls no-op.
+  void cancel(const std::string& reason) const;
+
+  /// True once cancel() was called or the deadline passed.
+  bool cancelled() const;
+
+  /// Why the token fired; empty while live.
+  std::string reason() const;
+
+  /// Milliseconds until the deadline (infinity when none, 0 when passed).
+  double remaining_ms() const;
+
+  /// Throw Error(kDeadlineExceeded) when fired; otherwise return.
+  void checkpoint() const;
+
+  /// Tokens compare by identity (shared state).
+  bool same_as(const CancelToken& other) const { return state_ == other.state_; }
+
+  /// Shared cancellation state — defined in cancel.cpp; public so the
+  /// thread-local plumbing there can name it, opaque everywhere else.
+  struct State;
+
+ private:
+  friend class CancelScope;
+  friend CancelToken current_token();
+  std::shared_ptr<State> state_;
+};
+
+/// Install `token` as the calling thread's current token for the scope's
+/// lifetime; nests (the previous token is restored on destruction).
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken& token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  std::shared_ptr<CancelToken::State> previous_;
+};
+
+/// Throw Error(kDeadlineExceeded) if the calling thread's current token
+/// (if any) has fired.  Call this at iteration boundaries of long loops;
+/// it is safe (and nearly free) to call from anywhere.
+void checkpoint();
+
+/// True when the current token has fired — for call sites that prefer to
+/// drain gracefully instead of unwinding.
+bool cancel_requested();
+
+/// The calling thread's current token (a never-firing token when none is
+/// installed) — capture this to propagate cancellation across threads.
+CancelToken current_token();
+
+namespace detail {
+/// Type-erased capture of the calling thread's current token state (null
+/// when none is installed) — the allocation-free propagation hook used by
+/// ThreadPool::submit.
+std::shared_ptr<void> capture_current();
+
+/// Re-install a captured state on this thread for the scope's lifetime.
+class PropagateScope {
+ public:
+  explicit PropagateScope(const std::shared_ptr<void>& state);
+  ~PropagateScope();
+  PropagateScope(const PropagateScope&) = delete;
+  PropagateScope& operator=(const PropagateScope&) = delete;
+
+ private:
+  std::shared_ptr<void> previous_;
+  bool installed_ = false;
+};
+}  // namespace detail
+
+/// Watchdog: a background thread that fires `token` once `budget_ms`
+/// elapses, so even work that only polls the atomic flag (never the clock)
+/// observes the overrun promptly.  Disarm by destroying the watchdog; a
+/// watchdog whose token already fired exits early.
+class Watchdog {
+ public:
+  Watchdog(const CancelToken& token, double budget_ms, std::string reason);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nshot::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "exec/cancel.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 
@@ -50,6 +52,30 @@ void set_default_jobs(int jobs) {
 }
 
 int resolve_jobs(int jobs) { return jobs >= 1 ? jobs : default_jobs(); }
+
+namespace {
+
+std::atomic<double> g_admission_us{-1.0};  // < 0 = unset, fall back to env / default
+
+double env_admission_us() {
+  if (const char* env = std::getenv("NSHOT_PARALLEL_MIN_US")) {
+    char* end = nullptr;
+    const double value = std::strtod(env, &end);
+    if (end != env && value >= 0) return value;
+  }
+  return 4000.0;
+}
+
+}  // namespace
+
+double parallel_admission_us() {
+  const double set = g_admission_us.load(std::memory_order_relaxed);
+  return set >= 0 ? set : env_admission_us();
+}
+
+void set_parallel_admission_us(double us) {
+  g_admission_us.store(us >= 0 ? us : -1.0, std::memory_order_relaxed);
+}
 
 struct ThreadPool::Impl {
   // One deque per worker; workers pop their own front (LIFO locality) and
@@ -153,14 +179,18 @@ void ThreadPool::submit(std::function<void()> task) {
   // Capture the submitting thread's active span so spans opened inside the
   // task attach to it — parallel per-item spans nest under the caller's
   // pass span exactly as a serial run would nest them.  When observability
-  // is disabled the context is 0 and the scope is a no-op.
+  // is disabled the context is 0 and the scope is a no-op.  The submitting
+  // thread's CancelToken rides along the same way, so a deadline installed
+  // on the caller covers every worker that picks up its chunks.
   const std::int64_t context = obs::detail::current_context();
-  if (context == 0) {
+  std::shared_ptr<void> cancel_state = detail::capture_current();
+  if (context == 0 && !cancel_state) {
     impl_->submit(std::move(task));
     return;
   }
-  impl_->submit([context, task = std::move(task)] {
+  impl_->submit([context, cancel_state = std::move(cancel_state), task = std::move(task)] {
     obs::detail::ContextScope scope(context);
+    detail::PropagateScope cancel_scope(cancel_state);
     task();
   });
 }
@@ -190,23 +220,50 @@ struct ForLoop {
   std::condition_variable cv;
   std::vector<std::pair<int, std::exception_ptr>> errors;  // guarded by mutex
 
+  void record(int begin, std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex);
+    errors.emplace_back(begin, std::move(error));
+  }
+
+  /// Execute one chunk, converting a fired CancelToken into a recorded
+  /// deadline-exceeded error instead of running the body — this is how a
+  /// deadline drains a half-finished bag promptly: remaining chunks are
+  /// claimed, skipped and counted without touching the work.
+  void run_chunk(int c) {
+    const int begin = c * grain;
+    const int end = std::min(begin + grain, n);
+    if (cancel_requested()) {
+      record(begin, std::make_exception_ptr(Error(ErrorCode::kDeadlineExceeded,
+                                                  "work cancelled: " +
+                                                      current_token().reason())));
+    } else {
+      try {
+        chunk(begin, end);
+      } catch (...) {
+        record(begin, std::current_exception());
+      }
+    }
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+      std::lock_guard<std::mutex> lock(mutex);
+      cv.notify_all();
+    }
+  }
+
   void run() {
     while (true) {
       const int c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
-      const int begin = c * grain;
-      const int end = std::min(begin + grain, n);
-      try {
-        chunk(begin, end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        errors.emplace_back(begin, std::current_exception());
-      }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
-        std::lock_guard<std::mutex> lock(mutex);
-        cv.notify_all();
-      }
+      run_chunk(c);
     }
+  }
+
+  /// Rethrow the failure a serial sweep would have hit first.
+  void rethrow_lowest() {
+    if (errors.empty()) return;
+    auto first = std::min_element(
+        errors.begin(), errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
   }
 };
 
@@ -223,6 +280,7 @@ int resolve_grain(int grain, int n, int workers) {
 void parallel_for_chunks(int n, int grain, const std::function<void(int, int)>& chunk,
                          int jobs) {
   if (n <= 0) return;
+  checkpoint();  // a fired deadline stops a sweep before it starts
   const int workers = std::min(resolve_jobs(jobs), n);
   if (workers <= 1 || n == 1) {
     chunk(0, n);  // one chunk: maximal scratch reuse, immediate propagation
@@ -234,40 +292,72 @@ void parallel_for_chunks(int n, int grain, const std::function<void(int, int)>& 
   loop->n = n;
   loop->grain = resolve_grain(grain, n, workers);
   loop->num_chunks = (n + loop->grain - 1) / loop->grain;
+  if (loop->num_chunks == 1) {
+    chunk(0, n);
+    return;
+  }
+
+  // Cost-model admission: the caller runs chunk 0 inline and times it.
+  // When the projected cost of the REMAINING chunks is below the admission
+  // threshold, scheduling them is all overhead (worker wakeups, steal
+  // traffic, cache ping-pong) — finish the bag serially on this thread
+  // instead.  The by-index result contract makes the two schedules
+  // byte-identical, so this is purely a latency decision.
+  loop->next.store(1, std::memory_order_relaxed);
+  const auto admit_start = std::chrono::steady_clock::now();
+  loop->run_chunk(0);
+  const double first_chunk_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - admit_start)
+          .count();
+  const double threshold_us = parallel_admission_us();
+  if (threshold_us > 0 &&
+      first_chunk_us * static_cast<double>(loop->num_chunks - 1) < threshold_us) {
+    loop->run();  // remaining chunks, serial
+    loop->rethrow_lowest();
+    return;
+  }
+
   ThreadPool& pool = ThreadPool::shared();
-  const int runners = std::min(workers - 1, loop->num_chunks - 1);
+  const int runners = std::min(workers - 1, loop->num_chunks - 2);
   for (int r = 0; r < runners; ++r) pool.submit([loop] { loop->run(); });
   loop->run();  // the caller is always a participant
 
   std::unique_lock<std::mutex> lock(loop->mutex);
   loop->cv.wait(lock,
                 [&] { return loop->done.load(std::memory_order_acquire) == loop->num_chunks; });
-  if (!loop->errors.empty()) {
-    // Rethrow the failure a serial sweep would have hit first.
-    auto first = std::min_element(
-        loop->errors.begin(), loop->errors.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    std::rethrow_exception(first->second);
-  }
+  loop->rethrow_lowest();
 }
 
 void parallel_for(int n, const std::function<void(int)>& body, int jobs, int grain) {
   if (n <= 0) return;
   const int workers = std::min(resolve_jobs(jobs), n);
   if (workers <= 1 || n == 1) {
-    for (int i = 0; i < n; ++i) body(i);
+    for (int i = 0; i < n; ++i) {
+      checkpoint();  // serial path: a fired deadline throws out of the loop
+      body(i);
+    }
     return;
   }
 
   // Per-item try/catch inside the chunk keeps the parallel_for contract:
   // every item runs even when an earlier item of the same chunk threw, and
   // the rethrown exception is the lowest ITEM index, not chunk index.
+  // Cancellation is the exception to "every item runs": a fired token
+  // abandons the rest of the chunk with one recorded deadline error.
   std::mutex mutex;
   std::vector<std::pair<int, std::exception_ptr>> errors;
   parallel_for_chunks(
       n, grain,
       [&](int begin, int end) {
         for (int i = begin; i < end; ++i) {
+          if (cancel_requested()) {
+            std::lock_guard<std::mutex> lock(mutex);
+            errors.emplace_back(
+                i, std::make_exception_ptr(Error(ErrorCode::kDeadlineExceeded,
+                                                 "work cancelled: " +
+                                                     current_token().reason())));
+            return;
+          }
           try {
             body(i);
           } catch (...) {

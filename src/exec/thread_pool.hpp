@@ -23,6 +23,11 @@
 //  * If bodies throw, every item still runs; the exception for the LOWEST
 //    index is rethrown after the loop (matching which failure a serial
 //    sweep surfaces first).
+//  * EXCEPTION to the above: when the thread-current exec::CancelToken
+//    fires (deadline or explicit cancel — see exec/cancel.hpp), remaining
+//    items are skipped and Error(kDeadlineExceeded) is rethrown; partial
+//    results written by completed items remain valid, matching the serial
+//    path where checkpoint() throws out of the loop.
 #pragma once
 
 #include <cstdlib>
@@ -45,6 +50,20 @@ void set_default_jobs(int jobs);
 /// Resolve a per-call `jobs` option: values >= 1 are taken as-is, 0 maps
 /// to default_jobs().
 int resolve_jobs(int jobs);
+
+/// Cost-model admission threshold for parallel_for/parallel_for_chunks, in
+/// microseconds of estimated REMAINING work: the calling thread always runs
+/// the first chunk inline and times it; when the projected cost of the
+/// remaining chunks is below this threshold the loop stays serial — worker
+/// wakeups and steal traffic cost more than they save on small circuits
+/// (BENCH_parallel's converta regression: 2.5 ms serial vs 11.9 ms at
+/// --jobs 8).  Results are byte-identical either way (the by-index merge
+/// contract), only the schedule changes.  Default 4000 µs; the
+/// NSHOT_PARALLEL_MIN_US environment variable overrides it, and 0 disables
+/// admission (always go parallel), which the sanitizer CI uses to keep the
+/// pool itself exercised.
+double parallel_admission_us();
+void set_parallel_admission_us(double us);
 
 /// Work-stealing thread pool.  Each worker owns a deque; submission
 /// round-robins across the deques and idle workers steal from the back of

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "exec/cancel.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "sim/delay_space.hpp"
@@ -140,6 +141,7 @@ RestartOutcome climb_restart(const sg::StateGraph& spec, const netlist::Netlist&
   take_best(current, eval);
 
   for (int it = 0; it < options.iterations && !out.violation_found; ++it) {
+    exec::checkpoint();
     if (box.movable.empty()) break;
     std::vector<double> candidate = current;
     const netlist::GateId g = box.movable[rng.next_below(box.movable.size())];

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "exec/cancel.hpp"
 #include "exec/thread_pool.hpp"
 #include "logic/espresso.hpp"
 #include "obs/obs.hpp"
@@ -197,6 +198,7 @@ std::optional<std::vector<CubeKey>> enumerate_prime_keys(const TwoLevelSpec& spe
   KeySet visited;
   KeySet prime_keys;
   for (const std::uint64_t code : spec.on(o)) {
+    exec::checkpoint();
     const Cube seed = Cube::minterm(code, spec.num_inputs(), 1ULL << o);
     NSHOT_REQUIRE(spec.cube_valid_for_output(seed, o),
                   "on-minterm also appears in the off-set");

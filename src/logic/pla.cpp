@@ -22,8 +22,8 @@ void for_each_minterm(const std::string& pattern, auto&& fn) {
       default: NSHOT_REQUIRE(false, std::string("bad PLA input character '") + pattern[v] + "'");
     }
   }
-  NSHOT_REQUIRE(free_vars.size() < 63 && (1ULL << free_vars.size()) <= kMaxRowMinterms,
-                "PLA row expands to too many minterms");
+  NSHOT_REQUIRE_CODE(free_vars.size() < 63 && (1ULL << free_vars.size()) <= kMaxRowMinterms,
+                     ErrorCode::kResourceExhausted, "PLA row expands to too many minterms");
   const std::uint64_t count = 1ULL << free_vars.size();
   for (std::uint64_t k = 0; k < count; ++k) {
     std::uint64_t code = base;
@@ -36,22 +36,29 @@ void for_each_minterm(const std::string& pattern, auto&& fn) {
 }  // namespace
 
 PlaFile parse_pla(const std::string& text) {
+  check_parser_text(text, "PLA text");
   std::istringstream stream(text);
   std::string line;
-  int num_inputs = -1, num_outputs = -1;
+  int num_inputs = -1, num_outputs = -1, line_no = 0;
   std::vector<std::string> input_names, output_names;
-  std::vector<std::pair<std::string, std::string>> rows;
+  struct Row {
+    std::string in, out;
+    int line;
+  };
+  std::vector<Row> rows;
 
   while (std::getline(stream, line)) {
+    ++line_no;
     const std::string clean = strip_comment_and_trim(line);
     if (clean.empty()) continue;
+    const std::string where = "line " + std::to_string(line_no);
     const std::vector<std::string> tokens = split_ws(clean);
     if (tokens[0] == ".i") {
-      NSHOT_REQUIRE(tokens.size() == 2, ".i expects one argument");
-      num_inputs = std::stoi(tokens[1]);
+      NSHOT_REQUIRE(tokens.size() == 2, where + ": .i expects one argument");
+      num_inputs = parse_int(tokens[1], 0, 63, where + ": .i");
     } else if (tokens[0] == ".o") {
-      NSHOT_REQUIRE(tokens.size() == 2, ".o expects one argument");
-      num_outputs = std::stoi(tokens[1]);
+      NSHOT_REQUIRE(tokens.size() == 2, where + ": .o expects one argument");
+      num_outputs = parse_int(tokens[1], 1, 4096, where + ": .o");
     } else if (tokens[0] == ".ilb") {
       input_names.assign(tokens.begin() + 1, tokens.end());
     } else if (tokens[0] == ".ob") {
@@ -61,28 +68,29 @@ PlaFile parse_pla(const std::string& text) {
     } else if (tokens[0] == ".e" || tokens[0] == ".end") {
       break;
     } else if (tokens[0][0] == '.') {
-      NSHOT_REQUIRE(false, "unsupported PLA directive " + tokens[0]);
+      NSHOT_REQUIRE(false, where + ": unsupported PLA directive " + tokens[0]);
     } else {
-      NSHOT_REQUIRE(tokens.size() == 2, "PLA row must be <inputs> <outputs>");
-      rows.emplace_back(tokens[0], tokens[1]);
+      NSHOT_REQUIRE(tokens.size() == 2, where + ": PLA row must be <inputs> <outputs>");
+      rows.push_back(Row{tokens[0], tokens[1], line_no});
     }
   }
   NSHOT_REQUIRE(num_inputs >= 0 && num_outputs >= 1, "PLA file missing .i/.o");
 
   TwoLevelSpec spec(num_inputs, num_outputs);
-  for (const auto& [in_pattern, out_pattern] : rows) {
-    NSHOT_REQUIRE(static_cast<int>(in_pattern.size()) == num_inputs,
-                  "PLA row input width mismatch");
-    NSHOT_REQUIRE(static_cast<int>(out_pattern.size()) == num_outputs,
-                  "PLA row output width mismatch");
-    for_each_minterm(in_pattern, [&](std::uint64_t code) {
+  for (const Row& row : rows) {
+    const std::string where = "line " + std::to_string(row.line);
+    NSHOT_REQUIRE(static_cast<int>(row.in.size()) == num_inputs,
+                  where + ": PLA row input width mismatch");
+    NSHOT_REQUIRE(static_cast<int>(row.out.size()) == num_outputs,
+                  where + ": PLA row output width mismatch");
+    for_each_minterm(row.in, [&](std::uint64_t code) {
       for (int o = 0; o < num_outputs; ++o) {
-        switch (out_pattern[static_cast<std::size_t>(o)]) {
+        switch (row.out[static_cast<std::size_t>(o)]) {
           case '1': spec.add_on(o, code); break;
           case '0': spec.add_off(o, code); break;
           case '-': case '~': break;  // don't care
           default:
-            NSHOT_REQUIRE(false, "bad PLA output character");
+            NSHOT_REQUIRE(false, where + ": bad PLA output character");
         }
       }
     });

@@ -1,9 +1,73 @@
 #include "nshot/pipeline.hpp"
 
+#include <algorithm>
+#include <optional>
+
+#include "exec/cancel.hpp"
 #include "stg/g_format.hpp"
 #include "stg/reachability.hpp"
+#include "util/error.hpp"
 
 namespace nshot {
+
+namespace {
+
+/// Conformance with graceful kernel degradation: a kKernelMismatch raised
+/// by the verify_kernels cross-check is recorded and the sweep re-run once
+/// on the reference kernels — a miscompiled kernel should cost speed, not
+/// the run.  Any other error propagates.
+sim::ConformanceReport conformance_with_fallback(const sg::StateGraph& sg,
+                                                 const netlist::Netlist& circuit,
+                                                 const sim::ConformanceOptions& options,
+                                                 std::vector<std::string>& fallbacks) {
+  try {
+    return sim::check_conformance(sg, circuit, options);
+  } catch (const Error& e) {
+    if (e.code() != ErrorCode::kKernelMismatch) throw;
+    obs::count(obs::Counter::kKernelFallbacks);
+    fallbacks.push_back(std::string("conformance: ") + e.what());
+    sim::ConformanceOptions degraded = options;
+    degraded.reference_kernels = true;
+    degraded.verify_kernels = false;
+    return sim::check_conformance(sg, circuit, degraded);
+  }
+}
+
+/// Wall-clock budget of the next stage: min(per-stage budget, remaining
+/// run budget); 0 = unbounded.
+double stage_budget_ms(const RunConfig& run, const exec::CancelToken& run_token) {
+  double budget = run.stage_deadline_ms > 0 ? run.stage_deadline_ms : 0.0;
+  if (run.deadline_ms > 0) {
+    const double left = run_token.remaining_ms();
+    budget = budget > 0 ? std::min(budget, left) : left;
+  }
+  return budget;
+}
+
+/// Execute one pipeline stage under its deadline budget.  The stage gets
+/// its own CancelToken (installed thread-current, so it propagates into
+/// every parallel_for the stage runs) and a Watchdog that fires the token
+/// on wall-clock overrun; a fired token surfaces as Error(kDeadlineExceeded)
+/// from the next checkpoint.  Errors gain a "stage <name>" context frame.
+template <typename Fn>
+void run_stage(const char* name, const RunConfig& run, const exec::CancelToken& run_token,
+               Fn&& fn) {
+  if (run.deadline_ms > 0 && run_token.remaining_ms() <= 0)
+    throw Error(ErrorCode::kDeadlineExceeded,
+                std::string("run budget exhausted before stage ") + name);
+  const double budget = stage_budget_ms(run, run_token);
+  if (budget <= 0) {
+    with_error_context(std::string("stage ") + name, fn);
+    return;
+  }
+  const exec::CancelToken token = exec::CancelToken::with_deadline(budget);
+  const exec::CancelScope scope(token);
+  const exec::Watchdog watchdog(
+      token, budget, std::string("stage '") + name + "' exceeded its deadline budget");
+  with_error_context(std::string("stage ") + name, fn);
+}
+
+}  // namespace
 
 Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
   // Apply the shared RunConfig once, up front: every stage below sees the
@@ -28,11 +92,12 @@ PipelineRun Pipeline::run(const sg::StateGraph& sg) {
                      {},    // conformance
                      false,  // conformance_ran
                      {},     // stress
-                     false};  // stress_ran
+                     false,  // stress_ran
+                     {}};    // kernel_fallbacks
 
   if (options_.verify_conformance) {
-    result.conformance =
-        sim::check_conformance(sg, result.synthesis.circuit, options_.conformance);
+    result.conformance = conformance_with_fallback(sg, result.synthesis.circuit,
+                                                   options_.conformance, result.kernel_fallbacks);
     result.conformance_ran = true;
   }
   if (options_.stress_test) {
@@ -46,6 +111,75 @@ PipelineRun Pipeline::run(const sg::StateGraph& sg) {
 PipelineRun Pipeline::run_g(const std::string& g_text) {
   const stg::Stg parsed = stg::parse_g(g_text);
   return run(stg::build_state_graph(parsed));
+}
+
+RunOutcome Pipeline::run_checked(const sg::StateGraph& sg) {
+  return run_checked_impl(&sg, nullptr);
+}
+
+RunOutcome Pipeline::run_checked_g(const std::string& g_text) {
+  return run_checked_impl(nullptr, &g_text);
+}
+
+RunOutcome Pipeline::run_checked_impl(const sg::StateGraph* graph_in,
+                                      const std::string* g_text) {
+  RunOutcome out;
+  const exec::CancelToken run_token =
+      exec::CancelToken::with_deadline(options_.run.deadline_ms);
+  const char* stage = g_text ? "parse" : "synthesize";
+  try {
+    std::optional<sg::StateGraph> graph;
+    if (g_text) {
+      stg::Stg parsed;
+      run_stage("parse", options_.run, run_token, [&] { parsed = stg::parse_g(*g_text); });
+      out.stages_completed.emplace_back("parse");
+      stage = "reachability";
+      run_stage("reachability", options_.run, run_token,
+                [&] { graph.emplace(stg::build_state_graph(parsed)); });
+      out.stages_completed.emplace_back("reachability");
+      stage = "synthesize";
+    } else {
+      graph.emplace(*graph_in);
+    }
+    if (session_ && session_->label().empty()) session_->set_label(graph->name());
+
+    std::optional<core::SynthesisResult> synthesis;
+    run_stage("synthesize", options_.run, run_token,
+              [&] { synthesis.emplace(core::synthesize(*graph, options_.synthesis)); });
+    out.stages_completed.emplace_back("synthesize");
+
+    PipelineRun result{graph->name(), std::move(*graph), std::move(*synthesis),
+                       {}, false, {}, false, {}};
+    if (options_.verify_conformance) {
+      stage = "conformance";
+      run_stage("conformance", options_.run, run_token, [&] {
+        result.conformance =
+            conformance_with_fallback(result.graph, result.synthesis.circuit,
+                                      options_.conformance, result.kernel_fallbacks);
+      });
+      result.conformance_ran = true;
+      out.stages_completed.emplace_back("conformance");
+    }
+    if (options_.stress_test) {
+      stage = "stress";
+      run_stage("stress", options_.run, run_token, [&] {
+        result.stress = faults::run_stress(result.graph, result.synthesis.circuit,
+                                           result.benchmark, options_.stress);
+      });
+      result.stress_ran = true;
+      out.stages_completed.emplace_back("stress");
+    }
+    out.run.emplace(std::move(result));
+  } catch (const Error& e) {
+    out.code = e.code();
+    out.stage = stage;
+    out.message = e.what();
+  } catch (const std::exception& e) {
+    out.code = classify_exception(e);
+    out.stage = stage;
+    out.message = e.what();
+  }
+  return out;
 }
 
 obs::RunReport Pipeline::report() const {

@@ -16,13 +16,16 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "faults/stress.hpp"
 #include "nshot/synthesis.hpp"
 #include "obs/obs.hpp"
 #include "sg/state_graph.hpp"
 #include "sim/conformance.hpp"
+#include "util/error.hpp"
 #include "util/run_config.hpp"
 
 namespace nshot {
@@ -57,11 +60,31 @@ struct PipelineRun {
   bool conformance_ran = false;
   faults::StressReport stress;  // default unless stress_ran
   bool stress_ran = false;
+  /// Graceful-degradation record: stages that raised kKernelMismatch
+  /// (verify_kernels divergence) and were re-run on the reference kernels.
+  /// Empty on a clean run.  Each entry is "<stage>: <mismatch detail>".
+  std::vector<std::string> kernel_fallbacks;
 
   /// Synthesized, conformant (when checked) and fault-clean (when stressed).
   bool ok() const {
     return (!conformance_ran || conformance.clean()) && (!stress_ran || stress.baseline_clean);
   }
+};
+
+/// The checked counterpart of PipelineRun: either a completed run, or a
+/// classified failure with enough context to diagnose it without a
+/// debugger — which stage failed, the rendered context chain, and the
+/// stages that DID complete (the partial diagnostics a batch report
+/// keeps).  run_checked never throws for circuit- or budget-shaped
+/// failures; escaping exceptions indicate a harness bug.
+struct RunOutcome {
+  std::optional<PipelineRun> run;  // engaged iff the pipeline completed
+  ErrorCode code = ErrorCode::kInternal;  // meaningful when !ok()
+  std::string stage;    // failing stage: parse|reachability|synthesize|conformance|stress
+  std::string message;  // rendered what() including the context chain
+  std::vector<std::string> stages_completed;
+
+  bool ok() const { return run.has_value(); }
 };
 
 class Pipeline {
@@ -79,6 +102,17 @@ class Pipeline {
   /// Parse `.g` STG text, build the reachability state graph, then run().
   PipelineRun run_g(const std::string& g_text);
 
+  /// Checked variants: every failure comes back as a classified RunOutcome
+  /// instead of an exception, and the RunConfig deadline knobs are
+  /// enforced — each stage runs under a CancelToken budgeted to
+  /// min(stage_deadline_ms, remaining run deadline_ms), with a Watchdog
+  /// thread firing the token on wall-clock overrun so even non-polling
+  /// work is cancelled at its next checkpoint.  A kKernelMismatch from a
+  /// verify_kernels stage is degraded (reference-kernel retry, recorded in
+  /// PipelineRun::kernel_fallbacks) before it is ever reported as failure.
+  RunOutcome run_checked(const sg::StateGraph& sg);
+  RunOutcome run_checked_g(const std::string& g_text);
+
   const PipelineOptions& options() const { return options_; }
 
   /// The owned session; nullptr when collect_observability was false or
@@ -91,6 +125,8 @@ class Pipeline {
   std::string trace_json(const obs::TraceOptions& options = {}) const;
 
  private:
+  RunOutcome run_checked_impl(const sg::StateGraph* graph, const std::string* g_text);
+
   PipelineOptions options_;
   std::unique_ptr<obs::Session> session_;
 };

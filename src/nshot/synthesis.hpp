@@ -32,7 +32,8 @@ namespace nshot::core {
 /// semi-modularity, CSC, or an unrepairable trigger-requirement violation).
 class SynthesisError : public Error {
  public:
-  using Error::Error;
+  explicit SynthesisError(const std::string& what)
+      : Error(ErrorCode::kUnimplementable, what) {}
 };
 
 /// The inherited nshot::RunConfig `jobs` drives per-signal work —

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "exec/cancel.hpp"
 #include "obs/obs.hpp"
 #include "sg/bitset.hpp"
 #include "util/error.hpp"
@@ -120,6 +121,7 @@ std::vector<StateId> quiescent_of(const StateGraph& sg, SignalId a,
     if (quiescent.contains(*exit) && in_region.insert_new(*exit)) frontier.push_back(*exit);
   }
   while (!frontier.empty()) {
+    exec::checkpoint();
     const StateId s = frontier.back();
     frontier.pop_back();
     for (const Edge& e : sg.out_edges(s)) {

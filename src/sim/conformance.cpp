@@ -1,6 +1,8 @@
 #include "sim/conformance.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <limits>
 #include <optional>
 #include <sstream>
@@ -223,7 +225,41 @@ void run_once(const sg::StateGraph& spec, const SpecBinding& binding, Simulator&
   report.simulated_time += sim.now();
 }
 
+/// First differing fingerprint field between two single-trial reports, or
+/// nullptr when they agree.  Everything a trial computes funnels into
+/// these fields, so agreement here is agreement on the trial.
+const char* trial_mismatch_field(const ConformanceReport& got, const ConformanceReport& want) {
+  if (got.external_transitions != want.external_transitions) return "external_transitions";
+  if (got.internal_toggles != want.internal_toggles) return "internal_toggles";
+  if (got.absorbed_pulses != want.absorbed_pulses) return "absorbed_pulses";
+  if (got.simulated_time != want.simulated_time) return "simulated_time";
+  if (got.deadlocks != want.deadlocks) return "deadlocks";
+  if (got.budget_exhausted != want.budget_exhausted) return "budget_exhausted";
+  if (got.violations.size() != want.violations.size()) return "violations";
+  return nullptr;
+}
+
+std::atomic<int> g_inject_kernel_fault{-1};  // -1 = env not read yet
+
 }  // namespace
+
+namespace testing {
+
+void set_kernel_fault_injection(bool enabled) {
+  g_inject_kernel_fault.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool kernel_fault_injection() {
+  int v = g_inject_kernel_fault.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("NSHOT_INJECT_KERNEL_FAULT");
+    v = (env && *env && *env != '0') ? 1 : 0;
+    g_inject_kernel_fault.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+}  // namespace testing
 
 ConformanceReport run_closed_loop(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                                   const ClosedLoopConfig& config, VcdRecorder* recorder) {
@@ -297,6 +333,7 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
         const obs::Span chunk_span = obs::Span::task("trials", begin);
         obs::count(obs::Counter::kTrialsRun, end - begin);
         std::optional<Simulator> sim;  // one per chunk, reset per trial
+        const bool verify = options.verify_kernels && !options.reference_kernels;
         for (int r = begin; r < end; ++r) {
           const ClosedLoopConfig config = trial_config(r);
           ConformanceReport trial;
@@ -311,6 +348,20 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
           } else {
             sim->reset(config.sim);
             run_once(spec, binding, *sim, config, trial);
+          }
+          if (verify) {
+            if (testing::kernel_fault_injection()) ++trial.internal_toggles;
+            ConformanceReport oracle;
+            oracle.runs = 1;
+            Simulator reference(compiled.netlist(), compiled.lib(), config.sim);
+            run_once(spec, binding, reference, config, oracle);
+            if (const char* field = trial_mismatch_field(trial, oracle)) {
+              obs::count(obs::Counter::kKernelMismatches);
+              throw Error(ErrorCode::kKernelMismatch,
+                          "compiled simulator diverged from reference on trial " +
+                              std::to_string(r) + " (seed " + std::to_string(config.sim.seed) +
+                              "): field " + field);
+            }
           }
           trials[static_cast<std::size_t>(r)] = std::move(trial);
         }

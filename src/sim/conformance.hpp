@@ -83,8 +83,29 @@ struct ConformanceReport {
   std::string summary() const;
 };
 
+namespace testing {
+/// Deterministic kernel-fault injection for exercising the
+/// verify_kernels / kKernelMismatch path end to end: while enabled, every
+/// compiled-kernel conformance trial's fingerprint is perturbed before the
+/// reference comparison, as if the compiled simulator had miscomputed a
+/// toggle count.  Reference-kernel trials are untouched, so a degraded
+/// retry under reference_kernels succeeds — exactly the failure mode the
+/// fallback machinery exists for.  Also enabled by the
+/// NSHOT_INJECT_KERNEL_FAULT environment variable (read once, at first
+/// query).  Test/CI hook only; never set in production runs.
+void set_kernel_fault_injection(bool enabled);
+bool kernel_fault_injection();
+}  // namespace testing
+
 /// Run `options.runs` randomized-delay closed-loop simulations of `circuit`
-/// against `spec`.  The circuit's primary input nets must be named after
+/// against `spec`.
+///
+/// With `options.verify_kernels` set (and reference_kernels clear), every
+/// trial is run twice — once through the compiled simulator, once through
+/// the uncompiled reference path — and the two single-trial reports are
+/// compared field by field.  Any divergence raises
+/// Error(kKernelMismatch) naming the trial, seed and first differing
+/// field; nshot::Pipeline degrades that into a reference-kernel retry.  The circuit's primary input nets must be named after
 /// the SG input signals and the observable non-input nets after the SG
 /// non-input signals (all synthesizers in this repository follow that
 /// convention).

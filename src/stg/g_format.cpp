@@ -1,5 +1,6 @@
 #include "stg/g_format.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -37,6 +38,7 @@ std::optional<ParsedTransition> parse_transition_token(const std::string& token)
 }  // namespace
 
 Stg parse_g(const std::string& text) {
+  check_parser_text(text, ".g text");
   Stg stg;
   std::istringstream stream(text);
   std::string raw;
@@ -87,9 +89,21 @@ Stg parse_g(const std::string& text) {
       const SignalKind kind = head == ".inputs"    ? SignalKind::kInput
                               : head == ".outputs" ? SignalKind::kOutput
                                                    : SignalKind::kInternal;
-      for (std::size_t i = 1; i < tokens.size(); ++i) stg.add_signal(tokens[i], kind);
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        NSHOT_REQUIRE(!stg.find_signal(tokens[i]).has_value(),
+                      "line " + std::to_string(line_no) + ": duplicate signal declaration " +
+                          tokens[i]);
+        stg.add_signal(tokens[i], kind);
+      }
     } else if (head == ".dummy") {
-      for (std::size_t i = 1; i < tokens.size(); ++i) dummy_names.push_back(tokens[i]);
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        NSHOT_REQUIRE(std::find(dummy_names.begin(), dummy_names.end(), tokens[i]) ==
+                              dummy_names.end() &&
+                          !stg.find_signal(tokens[i]).has_value(),
+                      "line " + std::to_string(line_no) + ": duplicate declaration of " +
+                          tokens[i]);
+        dummy_names.push_back(tokens[i]);
+      }
     } else if (head == ".graph") {
       in_graph = true;
     } else if (head == ".marking") {
@@ -154,6 +168,17 @@ Stg parse_g(const std::string& text) {
   }
 
   NSHOT_REQUIRE(stg.num_transitions() > 0, ".g file declares no transitions");
+
+  // Dangling transitions: an STG transition with no producing arc is
+  // always enabled (fires unboundedly) and one with no consuming arc is a
+  // sink; both are specification bugs that would otherwise only surface
+  // as a reachability state-cap blowup.  Reject them here with the name.
+  for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
+    NSHOT_REQUIRE(!stg.preset(t).empty(), "transition " + stg.transition_name(t) +
+                                              " is dangling: no arc produces its token");
+    NSHOT_REQUIRE(!stg.postset(t).empty(), "transition " + stg.transition_name(t) +
+                                               " is dangling: no arc consumes its token");
+  }
   return stg;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "exec/cancel.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 
@@ -170,8 +171,8 @@ Marking saturate_dummies(const Stg& stg, const Firing& firing, Marking m) {
       if (seen.emplace(next, true).second) queue.push_back(std::move(next));
     }
     if (!any) quiescent.push_back(current);
-    NSHOT_REQUIRE(seen.size() < 10000,
-                  "STG " + stg.name() + " has a diverging dummy-transition closure");
+    NSHOT_REQUIRE_CODE(seen.size() < 10000, ErrorCode::kResourceExhausted,
+                       "STG " + stg.name() + " has a diverging dummy-transition closure");
   }
   NSHOT_REQUIRE(quiescent.size() == 1,
                 "STG " + stg.name() + " has non-confluent (or cyclic) dummy transitions");
@@ -197,8 +198,9 @@ std::vector<bool> infer_initial_values_impl(const Stg& stg, const ReachabilityOp
     seen.emplace(initial, true);
     queue.push_back(initial);
     while (!queue.empty() && unresolved > 0) {
-      NSHOT_REQUIRE(seen.size() <= options.max_states,
-                    "STG " + stg.name() + " exceeds the reachability state cap");
+      exec::checkpoint();
+      NSHOT_REQUIRE_CODE(seen.size() <= options.max_states, ErrorCode::kResourceExhausted,
+                         "STG " + stg.name() + " exceeds the reachability state cap");
       const Marking m = queue.front();
       queue.pop_front();
       for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
@@ -239,8 +241,9 @@ std::vector<TransitionId> dead_transitions_impl(const Stg& stg,
   seen.emplace(initial, true);
   queue.push_back(initial);
   while (!queue.empty()) {
-    NSHOT_REQUIRE(seen.size() <= options.max_states,
-                  "STG " + stg.name() + " exceeds the reachability state cap");
+    exec::checkpoint();
+    NSHOT_REQUIRE_CODE(seen.size() <= options.max_states, ErrorCode::kResourceExhausted,
+                       "STG " + stg.name() + " exceeds the reachability state cap");
     const Marking m = queue.front();
     queue.pop_front();
     for (TransitionId t = 0; t < stg.num_transitions(); ++t) {
@@ -283,6 +286,7 @@ sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions&
   queue.push_back(initial);
 
   while (!queue.empty()) {
+    exec::checkpoint();
     const Marking m = queue.front();
     queue.pop_front();
     const sg::StateId from = ids.at(m);
@@ -302,8 +306,8 @@ sg::StateGraph build_state_graph_impl(const Stg& stg, const ReachabilityOptions&
       Marking next = saturate_dummies<MapT>(stg, firing, firing.fire(stg, m, t));
       const auto [it, inserted] = ids.emplace(std::move(next), -1);
       if (inserted) {
-        NSHOT_REQUIRE(ids.size() <= options.max_states,
-                      "STG " + stg.name() + " exceeds the reachability state cap");
+        NSHOT_REQUIRE_CODE(ids.size() <= options.max_states, ErrorCode::kResourceExhausted,
+                           "STG " + stg.name() + " exceeds the reachability state cap");
         it->second = graph.add_state(next_code);
         queue.push_back(it->first);
       } else {

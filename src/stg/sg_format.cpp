@@ -22,6 +22,7 @@ struct RawEdge {
 }  // namespace
 
 sg::StateGraph parse_sg(const std::string& text) {
+  check_parser_text(text, ".sg text");
   std::istringstream stream(text);
   std::string raw;
   int line_no = 0;

@@ -35,6 +35,23 @@ struct RunConfig {
   /// TriggerOptions::reference_membership) honor either flag.
   bool reference_kernels = false;
 
+  /// Cross-check the optimized kernels against their reference oracles
+  /// where a runtime comparison exists (currently the conformance sweep):
+  /// both paths run and any divergence raises Error(kKernelMismatch),
+  /// which Pipeline::run_checked degrades into a reference-kernel retry.
+  /// Roughly doubles the cost of the checked stages; off by default.
+  bool verify_kernels = false;
+
+  /// Whole-run wall-clock budget in milliseconds (0 = unbounded).  The
+  /// driver (Pipeline::run_checked, BatchRunner) installs a CancelToken +
+  /// Watchdog; overruns surface as clean Error(kDeadlineExceeded) results,
+  /// never as aborts.
+  double deadline_ms = 0;
+
+  /// Per-stage budget in milliseconds (0 = unbounded); each stage gets
+  /// min(stage_deadline_ms, remaining run budget).
+  double stage_deadline_ms = 0;
+
   /// Copy the shared knobs from another config (used by drivers that fan
   /// one RunConfig out into per-stage Options structs).
   void apply_run_config(const RunConfig& shared) { *this = shared; }

@@ -67,4 +67,48 @@ double parse_double(std::string_view text, double lo, double hi, std::string_vie
   return value;
 }
 
+void check_parser_text(std::string_view text, std::string_view what) {
+  int line = 1;
+  std::size_t column = 1;  // 1-based, counted in bytes
+  std::size_t line_start = 0;
+  auto where = [&] {
+    return std::string(what) + ": line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  };
+  for (std::size_t i = 0; i < text.size();) {
+    column = i - line_start + 1;
+    const unsigned char byte = static_cast<unsigned char>(text[i]);
+    if (byte == '\n') {
+      ++line;
+      line_start = i + 1;
+      ++i;
+      continue;
+    }
+    NSHOT_REQUIRE(byte != 0, where() + ": NUL byte in text input");
+    // UTF-8 well-formedness: ASCII passes; a lead byte must be followed by
+    // the right number of continuation bytes; bare continuation bytes and
+    // lead bytes beyond U+10FFFF's 4-byte form are malformed.
+    std::size_t follow = 0;
+    if (byte < 0x80) {
+      follow = 0;
+    } else if ((byte & 0xE0) == 0xC0) {
+      follow = 1;
+    } else if ((byte & 0xF0) == 0xE0) {
+      follow = 2;
+    } else if ((byte & 0xF8) == 0xF0) {
+      follow = 3;
+    } else {
+      NSHOT_REQUIRE(false, where() + ": invalid UTF-8 byte");
+    }
+    NSHOT_REQUIRE(i + follow < text.size(), where() + ": truncated UTF-8 sequence");
+    for (std::size_t k = 1; k <= follow; ++k)
+      NSHOT_REQUIRE((static_cast<unsigned char>(text[i + k]) & 0xC0) == 0x80,
+                    where() + ": truncated UTF-8 sequence");
+    i += follow + 1;
+    NSHOT_REQUIRE(i - line_start <= kMaxParserLine,
+                  std::string(what) + ": line " + std::to_string(line) + " exceeds " +
+                      std::to_string(kMaxParserLine) + " characters");
+  }
+}
+
 }  // namespace nshot

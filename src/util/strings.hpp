@@ -26,4 +26,16 @@ int parse_int(std::string_view text, int lo, int hi, std::string_view what);
 /// nshot::Error on malformed or out-of-range input.
 double parse_double(std::string_view text, double lo, double hi, std::string_view what);
 
+/// Longest line the text parsers accept.  Far beyond any legitimate .g /
+/// .sg / PLA line; a longer one is a corrupt or hostile input, rejected
+/// up front instead of ballooning token vectors downstream.
+constexpr std::size_t kMaxParserLine = 65536;
+
+/// Validate raw text before line-oriented parsing: rejects NUL bytes and
+/// malformed UTF-8 (truncated/overlong sequences, bare continuation
+/// bytes) with Error(kInputInvalid) naming the line and column, and lines
+/// longer than kMaxParserLine.  `what` names the format ("`.g` text", ...)
+/// in error messages.
+void check_parser_text(std::string_view text, std::string_view what);
+
 }  // namespace nshot

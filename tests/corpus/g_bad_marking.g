@@ -1,0 +1,10 @@
+.model badmark
+.inputs a
+.outputs c
+.graph
+a+ c+
+c+ a-
+a- c-
+c- a+
+.marking { nowhere }
+.end

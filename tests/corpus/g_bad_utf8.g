@@ -1,0 +1,7 @@
+.model badutf8
+.inputs a
+.outputs Ã(
+.graph
+a+ c+
+.marking { }
+.end

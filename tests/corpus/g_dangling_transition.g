@@ -1,0 +1,9 @@
+.model dangle
+.inputs a
+.outputs c
+.graph
+a+ c+
+c+ a-
+a- c-
+.marking { <a-,c-> }
+.end

@@ -1,0 +1,5 @@
+.model empty
+.inputs a
+.outputs c
+.marking { }
+.end

@@ -1,0 +1,11 @@
+.model pp
+.inputs a
+.outputs c
+.graph
+p0 p1
+a+ c+
+c+ a-
+a- c-
+c- a+
+.marking { p0 }
+.end

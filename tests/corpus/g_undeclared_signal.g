@@ -1,0 +1,11 @@
+.model undecl
+.inputs a
+.outputs c
+.graph
+a+ c+
+c+ q+
+q+ a-
+a- c-
+c- a+
+.marking { <c-,a+> }
+.end

@@ -24,6 +24,7 @@
 // paths share the rewritten event loop.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,9 +59,13 @@ double ms_since(Clock::time_point start) {
 /// Wall-clock minimum over repeated samples — the minimum is the standard
 /// noise filter on a busy single-core host.  Legs under comparison must
 /// interleave their samples (ref, fast, ref, fast, ...) so a load spike
-/// lands on both rather than poisoning one leg's whole window.
+/// lands on both rather than poisoning one leg's whole window.  The
+/// sample standard deviation is reported alongside the minimum: a row
+/// whose sd rivals its min was measured through noise and should not gate
+/// anything.
 struct MinTimer {
   double best = 0.0;
+  double sum = 0.0, sumsq = 0.0;
   int n = 0;
   template <typename Body>
   void sample(Body&& body) {
@@ -68,6 +73,15 @@ struct MinTimer {
     body();
     const double ms = ms_since(t0);
     if (n++ == 0 || ms < best) best = ms;
+    sum += ms;
+    sumsq += ms * ms;
+  }
+  double mean() const { return n > 0 ? sum / n : 0.0; }
+  double sd() const {
+    if (n < 2) return 0.0;
+    const double m = mean();
+    return std::sqrt(std::max(0.0, (sumsq - static_cast<double>(n) * m * m) /
+                                       static_cast<double>(n - 1)));
   }
 };
 
@@ -84,8 +98,10 @@ std::string conformance_fingerprint(const sim::ConformanceReport& r) {
 struct CaseTiming {
   std::string name;
   int states = 0, signals = 0;
-  double conf_reference_ms = 0, conf_compiled_ms = 0;
-  double stress_reference_ms = 0, stress_compiled_ms = 0;
+  double conf_reference_ms = 0, conf_compiled_ms = 0, conf_batched_ms = 0;
+  double conf_reference_sd = 0, conf_compiled_sd = 0, conf_batched_sd = 0;
+  double stress_reference_ms = 0, stress_compiled_ms = 0, stress_batched_ms = 0;
+  double stress_reference_sd = 0, stress_compiled_sd = 0, stress_batched_sd = 0;
   bool identical = false;
 };
 
@@ -117,29 +133,56 @@ CaseTiming measure(const std::string& name, bool smoke) {
   // a deep min-of-N converges on the true floor.
   const int reps = smoke ? 1 : 15;
 
-  sim::ConformanceReport conf_reference, conf_compiled;
-  faults::StressReport stress_reference, stress_compiled;
-  MinTimer conf_ref_t, conf_fast_t, stress_ref_t, stress_fast_t;
+  // Three legs, interleaved: the uncompiled reference kernels, the frozen
+  // pre-batch compiled driver (reference_driver — binary heap, per-trial
+  // settle, std::function observer), and the default batched engine
+  // (calendar queue + TrialBatch).  The recorded speedups are
+  // reference/compiled (the kernel layer's historical claim) and
+  // compiled/batched (this layer's claim); all three reports must be
+  // byte-identical.
+  sim::ConformanceReport conf_reference, conf_compiled, conf_batched;
+  faults::StressReport stress_reference, stress_compiled, stress_batched;
+  MinTimer conf_ref_t, conf_fast_t, conf_batch_t, stress_ref_t, stress_fast_t, stress_batch_t;
   for (int i = 0; i < reps; ++i) {
     conf.reference_kernels = true;
+    conf.reference_driver = false;
     conf_ref_t.sample([&] { conf_reference = sim::check_conformance(g, result.circuit, conf); });
     conf.reference_kernels = false;
+    conf.reference_driver = true;
     conf_fast_t.sample([&] { conf_compiled = sim::check_conformance(g, result.circuit, conf); });
+    conf.reference_driver = false;
+    conf_batch_t.sample([&] { conf_batched = sim::check_conformance(g, result.circuit, conf); });
     stress.reference_kernels = true;
+    stress.reference_driver = false;
     stress_ref_t.sample(
         [&] { stress_reference = faults::run_stress(g, result.circuit, name, stress); });
     stress.reference_kernels = false;
+    stress.reference_driver = true;
     stress_fast_t.sample(
         [&] { stress_compiled = faults::run_stress(g, result.circuit, name, stress); });
+    stress.reference_driver = false;
+    stress_batch_t.sample(
+        [&] { stress_batched = faults::run_stress(g, result.circuit, name, stress); });
   }
   timing.conf_reference_ms = conf_ref_t.best;
   timing.conf_compiled_ms = conf_fast_t.best;
+  timing.conf_batched_ms = conf_batch_t.best;
+  timing.conf_reference_sd = conf_ref_t.sd();
+  timing.conf_compiled_sd = conf_fast_t.sd();
+  timing.conf_batched_sd = conf_batch_t.sd();
   timing.stress_reference_ms = stress_ref_t.best;
   timing.stress_compiled_ms = stress_fast_t.best;
+  timing.stress_batched_ms = stress_batch_t.best;
+  timing.stress_reference_sd = stress_ref_t.sd();
+  timing.stress_compiled_sd = stress_fast_t.sd();
+  timing.stress_batched_sd = stress_batch_t.sd();
 
-  timing.identical =
-      conformance_fingerprint(conf_reference) == conformance_fingerprint(conf_compiled) &&
-      faults::stress_report_json(stress_reference) == faults::stress_report_json(stress_compiled);
+  const std::string conf_fp = conformance_fingerprint(conf_reference);
+  const std::string stress_fp = faults::stress_report_json(stress_reference);
+  timing.identical = conf_fp == conformance_fingerprint(conf_compiled) &&
+                     conf_fp == conformance_fingerprint(conf_batched) &&
+                     stress_fp == faults::stress_report_json(stress_compiled) &&
+                     stress_fp == faults::stress_report_json(stress_batched);
   return timing;
 }
 
@@ -147,6 +190,7 @@ struct KernelTiming {
   std::string name;
   int states = 0, signals = 0;  // workload size, 0 = not state-graph based
   double reference_ms = 0, fast_ms = 0;
+  double reference_sd = 0, fast_sd = 0;
   bool identical = false;
 };
 
@@ -202,6 +246,8 @@ KernelTiming measure_exact(bool smoke) {
   }
   timing.reference_ms = ref_t.best;
   timing.fast_ms = fast_t.best;
+  timing.reference_sd = ref_t.sd();
+  timing.fast_sd = fast_t.sd();
 
   options.reference_sets = true;
   std::string reference_minimized;
@@ -259,6 +305,8 @@ KernelTiming measure_reachability(bool smoke) {
   }
   timing.reference_ms = ref_t.best;
   timing.fast_ms = fast_t.best;
+  timing.reference_sd = ref_t.sd();
+  timing.fast_sd = fast_t.sd();
 
   timing.identical = reference_out == fast_out;
   return timing;
@@ -303,6 +351,8 @@ KernelTiming measure_regions(bool smoke) {
   }
   timing.reference_ms = ref_t.best;
   timing.fast_ms = fast_t.best;
+  timing.reference_sd = ref_t.sd();
+  timing.fast_sd = fast_t.sd();
 
   timing.identical = reference_regions == fast_regions;
   for (const sg::StateGraph& g : graphs)
@@ -409,8 +459,9 @@ int main(int argc, char** argv) {
   const int hardware = exec::hardware_jobs();
   std::printf("Kernel bench: reference vs compiled paths, jobs=1%s\n\n",
               smoke ? " (smoke)" : "");
-  std::printf("%-12s %12s %12s %8s %12s %12s %8s %6s\n", "circuit", "conf ref", "conf fast", "x",
-              "stress ref", "stress fast", "x", "same");
+  std::printf("%-12s %10s %10s %10s %7s %10s %10s %10s %7s %5s\n", "circuit", "conf ref",
+              "conf fast", "conf batch", "batch x", "stress ref", "stress fast", "stress batch",
+              "batch x", "same");
 
   bool all_identical = true;
   std::vector<CaseTiming> timings;
@@ -418,11 +469,11 @@ int main(int argc, char** argv) {
     const CaseTiming t = measure(name, smoke);
     NSHOT_REQUIRE(t.identical, "compiled report diverged from reference on " + t.name);
     all_identical &= t.identical;
-    std::printf("%-12s %10.1fms %10.1fms %7.2fx %10.1fms %10.1fms %7.2fx %6s\n", t.name.c_str(),
-                t.conf_reference_ms, t.conf_compiled_ms,
-                t.conf_reference_ms / t.conf_compiled_ms, t.stress_reference_ms,
-                t.stress_compiled_ms, t.stress_reference_ms / t.stress_compiled_ms,
-                t.identical ? "yes" : "NO");
+    std::printf("%-12s %8.1fms %8.1fms %8.1fms %6.2fx %8.1fms %8.1fms %8.1fms %6.2fx %5s\n",
+                t.name.c_str(), t.conf_reference_ms, t.conf_compiled_ms, t.conf_batched_ms,
+                t.conf_compiled_ms / t.conf_batched_ms, t.stress_reference_ms,
+                t.stress_compiled_ms, t.stress_batched_ms,
+                t.stress_compiled_ms / t.stress_batched_ms, t.identical ? "yes" : "NO");
     timings.push_back(t);
   }
 
@@ -442,12 +493,15 @@ int main(int argc, char** argv) {
       "\nobservability: dormant %.1fms, collecting %.1fms (%+.2f%% while collecting)\n",
       obs_timing.disabled_ms, obs_timing.enabled_ms, obs_timing.overhead_pct());
 
-  double conf_reference = 0, conf_compiled = 0, stress_reference = 0, stress_compiled = 0;
+  double conf_reference = 0, conf_compiled = 0, conf_batched = 0;
+  double stress_reference = 0, stress_compiled = 0, stress_batched = 0;
   for (const CaseTiming& t : timings) {
     conf_reference += t.conf_reference_ms;
     conf_compiled += t.conf_compiled_ms;
+    conf_batched += t.conf_batched_ms;
     stress_reference += t.stress_reference_ms;
     stress_compiled += t.stress_compiled_ms;
+    stress_batched += t.stress_batched_ms;
   }
   const double conf_speedup = conf_compiled > 0 ? conf_reference / conf_compiled : 0;
   const double stress_speedup = stress_compiled > 0 ? stress_reference / stress_compiled : 0;
@@ -455,10 +509,20 @@ int main(int argc, char** argv) {
                                    ? (conf_reference + stress_reference) /
                                          (conf_compiled + stress_compiled)
                                    : 0;
+  // The batched engine's claim: batched vs the frozen pre-batch compiled
+  // driver, same workload, same thread.
+  const double conf_batch_speedup = conf_batched > 0 ? conf_compiled / conf_batched : 0;
+  const double stress_batch_speedup = stress_batched > 0 ? stress_compiled / stress_batched : 0;
+  const double total_batch_speedup =
+      (conf_batched + stress_batched) > 0
+          ? (conf_compiled + stress_compiled) / (conf_batched + stress_batched)
+          : 0;
   std::printf(
-      "\ntotal: conformance %.2fx, stress %.2fx, combined %.2fx (single thread, %d hardware "
-      "threads)\n",
-      conf_speedup, stress_speedup, total_speedup, hardware);
+      "\ntotal: kernels vs reference: conformance %.2fx, stress %.2fx, combined %.2fx\n"
+      "       batched vs pre-batch:  conformance %.2fx, stress %.2fx, combined %.2fx "
+      "(single thread, %d hardware threads)\n",
+      conf_speedup, stress_speedup, total_speedup, conf_batch_speedup, stress_batch_speedup,
+      total_batch_speedup, hardware);
 
   // Cross-build comparison against a pre-kernel-layer bench_parallel run.
   double base_conf = 0, base_stress = 0, base_conf_compiled = 0, base_stress_compiled = 0;
@@ -488,15 +552,26 @@ int main(int argc, char** argv) {
        << ",\n  \"byte_identical\": " << (all_identical ? "true" : "false")
        << ",\n  \"conformance_speedup\": " << conf_speedup
        << ",\n  \"stress_speedup\": " << stress_speedup
-       << ",\n  \"total_speedup\": " << total_speedup << ",\n  \"cases\": [\n";
+       << ",\n  \"total_speedup\": " << total_speedup
+       << ",\n  \"conformance_batch_speedup\": " << conf_batch_speedup
+       << ",\n  \"stress_batch_speedup\": " << stress_batch_speedup
+       << ",\n  \"total_batch_speedup\": " << total_batch_speedup << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const CaseTiming& t = timings[i];
     json << "    {\"name\": \"" << t.name << "\", \"states\": " << t.states
          << ", \"signals\": " << t.signals << ", \"hardware_concurrency\": " << hardware
          << ", \"conformance_reference_ms\": " << t.conf_reference_ms
+         << ", \"conformance_reference_sd\": " << t.conf_reference_sd
          << ", \"conformance_compiled_ms\": " << t.conf_compiled_ms
+         << ", \"conformance_compiled_sd\": " << t.conf_compiled_sd
+         << ", \"conformance_batched_ms\": " << t.conf_batched_ms
+         << ", \"conformance_batched_sd\": " << t.conf_batched_sd
          << ", \"stress_reference_ms\": " << t.stress_reference_ms
-         << ", \"stress_compiled_ms\": " << t.stress_compiled_ms << "}"
+         << ", \"stress_reference_sd\": " << t.stress_reference_sd
+         << ", \"stress_compiled_ms\": " << t.stress_compiled_ms
+         << ", \"stress_compiled_sd\": " << t.stress_compiled_sd
+         << ", \"stress_batched_ms\": " << t.stress_batched_ms
+         << ", \"stress_batched_sd\": " << t.stress_batched_sd << "}"
          << (i + 1 < timings.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"kernels\": [\n";
@@ -504,7 +579,9 @@ int main(int argc, char** argv) {
     const KernelTiming& k = kernels[i];
     json << "    {\"name\": \"" << k.name << "\", \"states\": " << k.states
          << ", \"signals\": " << k.signals << ", \"hardware_concurrency\": " << hardware
-         << ", \"reference_ms\": " << k.reference_ms << ", \"fast_ms\": " << k.fast_ms << "}"
+         << ", \"reference_ms\": " << k.reference_ms
+         << ", \"reference_sd\": " << k.reference_sd << ", \"fast_ms\": " << k.fast_ms
+         << ", \"fast_sd\": " << k.fast_sd << "}"
          << (i + 1 < kernels.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"observability\": {\"disabled_ms\": " << obs_timing.disabled_ms

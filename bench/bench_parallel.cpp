@@ -10,7 +10,9 @@
 // The speedup number is only meaningful on a multi-core host; the JSON
 // records `hardware_jobs` so CI (which regenerates this file on an 8-core
 // runner) and a laptop run can be told apart.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -33,6 +35,32 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
+/// Min-of-N wall clock with sample standard deviation (same methodology
+/// as bench_kernels: the minimum filters scheduler noise, the sd reports
+/// how noisy the window was).  The serial and parallel legs interleave
+/// their samples so a load spike lands on both.
+struct MinTimer {
+  double best = 0.0;
+  double sum = 0.0, sumsq = 0.0;
+  int n = 0;
+  template <typename Body>
+  void sample(Body&& body) {
+    const auto t0 = Clock::now();
+    body();
+    const double ms = ms_since(t0);
+    if (n++ == 0 || ms < best) best = ms;
+    sum += ms;
+    sumsq += ms * ms;
+  }
+  double mean() const { return n > 0 ? sum / n : 0.0; }
+  double sd() const {
+    if (n < 2) return 0.0;
+    const double m = mean();
+    return std::sqrt(std::max(0.0, (sumsq - static_cast<double>(n) * m * m) /
+                                       static_cast<double>(n - 1)));
+  }
+};
+
 std::string conformance_fingerprint(const sim::ConformanceReport& r) {
   std::ostringstream out;
   out << r.runs << '/' << r.external_transitions << '/' << r.internal_toggles << '/'
@@ -47,7 +75,9 @@ struct CaseTiming {
   std::string name;
   int states = 0, signals = 0;
   double conf_serial_ms = 0, conf_parallel_ms = 0;
+  double conf_serial_sd = 0, conf_parallel_sd = 0;
   double stress_serial_ms = 0, stress_parallel_ms = 0;
+  double stress_serial_sd = 0, stress_parallel_sd = 0;
   bool identical = false;
 };
 
@@ -73,27 +103,32 @@ CaseTiming measure(const std::string& name, int parallel_jobs, bool smoke) {
   timing.states = g.num_states();
   timing.signals = g.num_signals();
 
-  conf.jobs = 1;
-  auto t0 = Clock::now();
-  const sim::ConformanceReport conf_serial = sim::check_conformance(g, result.circuit, conf);
-  timing.conf_serial_ms = ms_since(t0);
-
-  conf.jobs = parallel_jobs;
-  t0 = Clock::now();
-  const sim::ConformanceReport conf_parallel = sim::check_conformance(g, result.circuit, conf);
-  timing.conf_parallel_ms = ms_since(t0);
-
-  stress.jobs = 1;
-  stress.adversarial.jobs = 1;
-  t0 = Clock::now();
-  const faults::StressReport stress_serial = faults::run_stress(g, result.circuit, name, stress);
-  timing.stress_serial_ms = ms_since(t0);
-
-  stress.jobs = parallel_jobs;
-  stress.adversarial.jobs = parallel_jobs;
-  t0 = Clock::now();
-  const faults::StressReport stress_parallel = faults::run_stress(g, result.circuit, name, stress);
-  timing.stress_parallel_ms = ms_since(t0);
+  const int reps = smoke ? 1 : 7;
+  sim::ConformanceReport conf_serial, conf_parallel;
+  faults::StressReport stress_serial, stress_parallel;
+  MinTimer conf_s_t, conf_p_t, stress_s_t, stress_p_t;
+  for (int i = 0; i < reps; ++i) {
+    conf.jobs = 1;
+    conf_s_t.sample([&] { conf_serial = sim::check_conformance(g, result.circuit, conf); });
+    conf.jobs = parallel_jobs;
+    conf_p_t.sample([&] { conf_parallel = sim::check_conformance(g, result.circuit, conf); });
+    stress.jobs = 1;
+    stress.adversarial.jobs = 1;
+    stress_s_t.sample(
+        [&] { stress_serial = faults::run_stress(g, result.circuit, name, stress); });
+    stress.jobs = parallel_jobs;
+    stress.adversarial.jobs = parallel_jobs;
+    stress_p_t.sample(
+        [&] { stress_parallel = faults::run_stress(g, result.circuit, name, stress); });
+  }
+  timing.conf_serial_ms = conf_s_t.best;
+  timing.conf_parallel_ms = conf_p_t.best;
+  timing.conf_serial_sd = conf_s_t.sd();
+  timing.conf_parallel_sd = conf_p_t.sd();
+  timing.stress_serial_ms = stress_s_t.best;
+  timing.stress_parallel_ms = stress_p_t.best;
+  timing.stress_serial_sd = stress_s_t.sd();
+  timing.stress_parallel_sd = stress_p_t.sd();
 
   timing.identical =
       conformance_fingerprint(conf_serial) == conformance_fingerprint(conf_parallel) &&
@@ -150,9 +185,13 @@ int main(int argc, char** argv) {
     json << "    {\"name\": \"" << t.name << "\", \"states\": " << t.states
          << ", \"signals\": " << t.signals << ", \"hardware_concurrency\": " << hardware
          << ", \"conformance_serial_ms\": " << t.conf_serial_ms
+         << ", \"conformance_serial_sd\": " << t.conf_serial_sd
          << ", \"conformance_parallel_ms\": " << t.conf_parallel_ms
+         << ", \"conformance_parallel_sd\": " << t.conf_parallel_sd
          << ", \"stress_serial_ms\": " << t.stress_serial_ms
-         << ", \"stress_parallel_ms\": " << t.stress_parallel_ms << "}"
+         << ", \"stress_serial_sd\": " << t.stress_serial_sd
+         << ", \"stress_parallel_ms\": " << t.stress_parallel_ms
+         << ", \"stress_parallel_sd\": " << t.stress_parallel_sd << "}"
          << (i + 1 < timings.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

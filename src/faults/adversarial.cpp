@@ -7,6 +7,7 @@
 #include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "sim/delay_space.hpp"
+#include "sim/trial_batch.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -86,6 +87,19 @@ Evaluation evaluate(const sg::StateGraph& spec, const sim::SpecBinding& binding,
   return eval;
 }
 
+Evaluation evaluate(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                    std::vector<double> delays, std::uint64_t env_seed,
+                    const ScenarioOptions& options, sim::TrialRunner& runner,
+                    MarginProbe* probe) {
+  FaultScenario scenario;
+  scenario.seed = env_seed;
+  scenario.delays = std::move(delays);
+  Evaluation eval;
+  eval.run = run_probed(spec, binding, scenario, options, runner, probe);
+  eval.score = eval.run.report.violations.empty() ? eval.run.min_slack : -kNoMargin;
+  return eval;
+}
+
 }  // namespace
 
 namespace {
@@ -106,20 +120,34 @@ struct RestartOutcome {
 RestartOutcome climb_restart(const sg::StateGraph& spec, const netlist::Netlist& circuit,
                              const SearchSpace& box, const sim::DelaySpace& space,
                              const AdversarialOptions& options, int restart,
-                             const sim::SpecBinding* binding,
-                             const sim::CompiledNetlist* compiled) {
+                             const sim::SpecBinding& binding,
+                             const sim::CompiledNetlist& compiled) {
   // One environment stream per restart keeps the objective deterministic
   // in the delay vector, so accepted steps are genuine descents.
   const std::uint64_t env_seed = run_seed(options.seed, restart);
   Rng rng(env_seed ^ 0xadce5a17ULL);
 
-  // The whole climb is a serial evaluate loop — the prime Simulator-reuse
-  // site.  `compiled == nullptr` is the reference path.
+  // The whole climb is a serial evaluate loop — the prime engine-reuse
+  // site.  Engine three-way: uncompiled reference kernels, the frozen
+  // pre-batch compiled driver, or (default) the calendar-queue
+  // TrialRunner with a restart-reused MarginProbe.
   std::optional<sim::Simulator> reuse;
-  if (compiled) reuse.emplace(*compiled, sim::SimulatorOptions{});
+  std::optional<sim::TrialRunner> runner;
+  std::optional<MarginProbe> probe;
+  if (!options.reference_kernels) {
+    if (options.reference_driver) {
+      reuse.emplace(compiled, sim::SimulatorOptions{});
+    } else {
+      runner.emplace(compiled);
+      probe.emplace(compiled.netlist(), compiled.lib());
+    }
+  }
   auto eval_point = [&](const std::vector<double>& delays) {
-    return compiled ? evaluate(spec, *binding, *compiled, delays, env_seed, options.run, &*reuse)
-                    : evaluate(spec, circuit, delays, env_seed, options.run);
+    return options.reference_kernels
+               ? evaluate(spec, circuit, delays, env_seed, options.run)
+           : options.reference_driver
+               ? evaluate(spec, binding, compiled, delays, env_seed, options.run, &*reuse)
+               : evaluate(spec, binding, delays, env_seed, options.run, *runner, &*probe);
   };
 
   RestartOutcome out;
@@ -177,11 +205,7 @@ AdversarialResult adversarial_delay_search(const sg::StateGraph& spec,
 
   std::vector<RestartOutcome> restarts = exec::parallel_map<RestartOutcome>(
       options.restarts,
-      [&](int r) {
-        return climb_restart(spec, circuit, box, space, options, r,
-                             options.reference_kernels ? nullptr : &binding,
-                             options.reference_kernels ? nullptr : &compiled);
-      },
+      [&](int r) { return climb_restart(spec, circuit, box, space, options, r, binding, compiled); },
       options.jobs);
 
   // Merge in restart order, reproducing the serial sweep exactly: a strict
@@ -228,15 +252,27 @@ MonteCarloResult stressed_monte_carlo(const sg::StateGraph& spec,
       runs, options.grain,
       [&](int begin, int end) {
         std::optional<sim::Simulator> reuse;
-        if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+        std::optional<sim::TrialRunner> runner;
+        std::optional<MarginProbe> probe;
+        if (!options.reference_kernels) {
+          if (options.reference_driver) {
+            reuse.emplace(compiled, sim::SimulatorOptions{});
+          } else {
+            runner.emplace(compiled);
+            probe.emplace(compiled.netlist(), compiled.lib());
+          }
+        }
         for (int r = begin; r < end; ++r) {
           const std::uint64_t seed = run_seed(options.seed, r);
           Rng rng(seed);
           const Evaluation eval =
               options.reference_kernels
                   ? evaluate(spec, circuit, sample_uniform(box, space, rng), seed, options.run)
-                  : evaluate(spec, binding, compiled, sample_uniform(box, space, rng), seed,
-                             options.run, &*reuse);
+              : options.reference_driver
+                  ? evaluate(spec, binding, compiled, sample_uniform(box, space, rng), seed,
+                             options.run, &*reuse)
+                  : evaluate(spec, binding, sample_uniform(box, space, rng), seed, options.run,
+                             *runner, &*probe);
           trials[static_cast<std::size_t>(r)] =
               Trial{!eval.run.report.violations.empty(), eval.run.min_slack};
         }

@@ -4,6 +4,7 @@
 
 #include "netlist/transform.hpp"
 #include "sim/delay_space.hpp"
+#include "sim/trial_batch.hpp"
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
 
@@ -92,6 +93,13 @@ sim::ConformanceReport run_scenario(const sg::StateGraph& spec, const sim::SpecB
                                     sim::Simulator* reuse) {
   return sim::run_closed_loop(spec, binding, compiled, to_config(scenario, options), recorder,
                               reuse);
+}
+
+sim::ConformanceReport run_scenario(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                                    const FaultScenario& scenario,
+                                    const ScenarioOptions& options, sim::TrialRunner& runner,
+                                    sim::VcdRecorder* recorder) {
+  return runner.run(spec, binding, to_config(scenario, options), recorder);
 }
 
 namespace {

@@ -28,6 +28,7 @@
 
 namespace nshot::sim {
 class VcdRecorder;
+class TrialRunner;  // sim/trial_batch.hpp
 }
 
 namespace nshot::faults {
@@ -94,6 +95,14 @@ sim::ConformanceReport run_scenario(const sg::StateGraph& spec, const sim::SpecB
                                     const ScenarioOptions& options,
                                     sim::VcdRecorder* recorder = nullptr,
                                     sim::Simulator* reuse = nullptr);
+
+/// Batched-engine variant: the scenario runs on `runner`'s calendar-queue
+/// simulator (sim/trial_batch.hpp) against runner.compiled().
+/// Byte-identical to both overloads above.
+sim::ConformanceReport run_scenario(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                                    const FaultScenario& scenario,
+                                    const ScenarioOptions& options, sim::TrialRunner& runner,
+                                    sim::VcdRecorder* recorder = nullptr);
 
 /// The per-gate delay assignment `scenario` denotes, materialized: the
 /// explicit vector if given (else the seed-sampled one), with the delay

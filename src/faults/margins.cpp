@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "sim/delay_space.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/trial_batch.hpp"
 #include "util/error.hpp"
 
 namespace nshot::faults {
@@ -38,6 +40,18 @@ MarginProbe::MarginProbe(const netlist::Netlist& circuit, const gatelib::GateLib
     for (int i = 0; i < 4; ++i) watch_[gate.inputs[static_cast<std::size_t>(i)]].emplace_back(index, i);
     watch_[cell.q].emplace_back(index, 4);
     cells_.push_back(std::move(cell));
+  }
+}
+
+void MarginProbe::reset() {
+  for (Cell& cell : cells_) {
+    cell.values = {};
+    cell.q_value = false;
+    cell.set_rise = -1.0;
+    cell.set_rise_q = false;
+    cell.reset_rise = -1.0;
+    cell.reset_rise_q = false;
+    cell.stats = OmegaStats{};
   }
 }
 
@@ -298,6 +312,35 @@ ProbedRun run_probed(const sg::StateGraph& spec, const sim::SpecBinding& binding
   for (int k = 0; k < probe.num_cells(); ++k) {
     run.omega.push_back(probe.stats(k));
     run.min_slack = std::min(run.min_slack, probe.stats(k).min_slack());
+  }
+  for (const Eq1Margin& m : run.eq1) run.min_slack = std::min(run.min_slack, m.slack());
+  return run;
+}
+
+ProbedRun run_probed(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                     const FaultScenario& scenario, const ScenarioOptions& options,
+                     sim::TrialRunner& runner, MarginProbe* probe_reuse) {
+  const sim::CompiledNetlist& compiled = runner.compiled();
+  FaultScenario pinned = scenario;
+  pinned.delays = materialize_delays(compiled, scenario);
+
+  std::optional<MarginProbe> local;
+  MarginProbe* probe = probe_reuse;
+  if (probe != nullptr)
+    probe->reset();
+  else
+    probe = &local.emplace(compiled.netlist(), compiled.lib());
+
+  sim::ClosedLoopConfig config = to_config(pinned, options);
+  config.observer = probe->observer();
+  config.on_initialized = [probe](const sim::Simulator& sim) { probe->capture_initial(sim); };
+
+  ProbedRun run;
+  run.report = runner.run(spec, binding, config);
+  run.eq1 = eq1_margins(compiled, pinned.delays);
+  for (int k = 0; k < probe->num_cells(); ++k) {
+    run.omega.push_back(probe->stats(k));
+    run.min_slack = std::min(run.min_slack, probe->stats(k).min_slack());
   }
   for (const Eq1Margin& m : run.eq1) run.min_slack = std::min(run.min_slack, m.slack());
   return run;

@@ -29,6 +29,10 @@
 #include "netlist/netlist.hpp"
 #include "sim/conformance.hpp"
 
+namespace nshot::sim {
+class TrialRunner;  // sim/trial_batch.hpp
+}
+
 namespace nshot::faults {
 
 inline constexpr double kNoMargin = std::numeric_limits<double>::infinity();
@@ -52,6 +56,11 @@ struct OmegaStats {
 class MarginProbe {
  public:
   MarginProbe(const netlist::Netlist& circuit, const gatelib::GateLibrary& lib);
+
+  /// Re-zero the per-run dynamic state (input mirrors, pulse clocks,
+  /// statistics) while keeping the structural cell/watch tables, so one
+  /// probe can serve a whole chunk of runs without reallocating.
+  void reset();
 
   void capture_initial(const sim::Simulator& sim);
   sim::NetObserver observer();
@@ -162,5 +171,13 @@ ProbedRun run_probed(const sg::StateGraph& spec, const netlist::Netlist& circuit
 ProbedRun run_probed(const sg::StateGraph& spec, const sim::SpecBinding& binding,
                      const sim::CompiledNetlist& compiled, const FaultScenario& scenario,
                      const ScenarioOptions& options, sim::Simulator* reuse = nullptr);
+
+/// Batched-engine variant: the scenario runs on `runner`'s calendar-queue
+/// simulator (sim/trial_batch.hpp) against runner.compiled().  `probe`
+/// (optional) is reset and reused instead of constructing a MarginProbe
+/// per run.  Byte-identical to both overloads above.
+ProbedRun run_probed(const sg::StateGraph& spec, const sim::SpecBinding& binding,
+                     const FaultScenario& scenario, const ScenarioOptions& options,
+                     sim::TrialRunner& runner, MarginProbe* probe = nullptr);
 
 }  // namespace nshot::faults

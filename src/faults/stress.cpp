@@ -6,6 +6,7 @@
 #include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "sim/delay_space.hpp"
+#include "sim/trial_batch.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -66,15 +67,29 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
     exec::parallel_for_chunks(
         options.margin_runs, options.grain,
         [&](int begin, int end) {
+          // Engine three-way: uncompiled reference kernels, the frozen
+          // pre-batch compiled driver, or (default) the calendar-queue
+          // TrialRunner with a chunk-reused MarginProbe.
           std::optional<sim::Simulator> reuse;
-          if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+          std::optional<sim::TrialRunner> runner;
+          std::optional<MarginProbe> probe;
+          if (!options.reference_kernels) {
+            if (options.reference_driver) {
+              reuse.emplace(compiled, sim::SimulatorOptions{});
+            } else {
+              runner.emplace(compiled);
+              probe.emplace(circuit, lib);
+            }
+          }
           for (int r = begin; r < end; ++r) {
             FaultScenario scenario;
             scenario.seed = run_seed(options.seed, r);
             probed[static_cast<std::size_t>(r)] =
                 options.reference_kernels
                     ? run_probed(spec, circuit, scenario, options.run)
-                    : run_probed(spec, binding, compiled, scenario, options.run, &*reuse);
+                : options.reference_driver
+                    ? run_probed(spec, binding, compiled, scenario, options.run, &*reuse)
+                    : run_probed(spec, binding, scenario, options.run, *runner, &*probe);
           }
         },
         options.jobs);
@@ -157,7 +172,13 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
         static_cast<int>(battery.size()), options.grain,
         [&](int begin, int end) {
           std::optional<sim::Simulator> reuse;
-          if (!options.reference_kernels) reuse.emplace(compiled, sim::SimulatorOptions{});
+          std::optional<sim::TrialRunner> runner;
+          if (!options.reference_kernels) {
+            if (options.reference_driver)
+              reuse.emplace(compiled, sim::SimulatorOptions{});
+            else
+              runner.emplace(compiled);
+          }
           for (int j = begin; j < end; ++j) {
             const BatteryEntry& entry = battery[static_cast<std::size_t>(j)];
             FaultOutcome outcome;
@@ -170,8 +191,10 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
             const sim::ConformanceReport run =
                 options.reference_kernels
                     ? run_scenario(spec, circuit, scenario, options.run)
-                    : run_scenario(spec, binding, compiled, scenario, options.run, nullptr,
-                                   &*reuse);
+                : options.reference_driver
+                    ? run_scenario(spec, binding, compiled, scenario, options.run, nullptr,
+                                   &*reuse)
+                    : run_scenario(spec, binding, scenario, options.run, *runner);
             outcome.survived = run.clean();
             if (!run.violations.empty())
               outcome.violation =
@@ -193,6 +216,7 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
   if (options.adversarial.restarts > 0) {
     AdversarialOptions adversarial = options.adversarial;
     adversarial.reference_kernels |= options.reference_kernels;
+    adversarial.reference_driver |= options.reference_driver;
     report.adversarial = adversarial_delay_search(spec, circuit, adversarial);
     report.adversarial_ran = true;
   }

@@ -34,14 +34,19 @@ constexpr CounterInfo kCounterTable[kNumCounters] = {
     {"kernel_mismatches", true},
     {"kernel_fallbacks", true},
     {"faults_injected", true},
+    {"batch_trials", true},
     {"adversarial_evaluations", false},
     {"memo_hits", false},
     {"memo_misses", false},
+    {"batch_peels", false},
+    {"batch_lockstep_shared", false},
+    {"calendar_resizes", false},
 };
 
-constexpr const char* kGaugeNames[kNumGauges] = {
-    "omega_slack",
-    "eq1_slack",
+constexpr GaugeInfo kGaugeTable[kNumGauges] = {
+    {"omega_slack", true},
+    {"eq1_slack", true},
+    {"calendar_fill", false},
 };
 
 /// One completed span as recorded by its owning thread.
@@ -112,7 +117,8 @@ double now_us() {
 }  // namespace
 
 const CounterInfo& counter_info(Counter c) { return kCounterTable[static_cast<int>(c)]; }
-const char* gauge_name(Gauge g) { return kGaugeNames[static_cast<int>(g)]; }
+const GaugeInfo& gauge_info(Gauge g) { return kGaugeTable[static_cast<int>(g)]; }
+const char* gauge_name(Gauge g) { return kGaugeTable[static_cast<int>(g)].name; }
 
 namespace detail {
 
@@ -549,8 +555,9 @@ std::string report_json(const RunReport& report, const ReportOptions& options) {
   json.end_object();
   json.key("gauges").begin_object();
   for (int i = 0; i < kNumGauges; ++i) {
+    if (options.deterministic && !kGaugeTable[i].deterministic) continue;
     const GaugeStats& stats = report.gauges[i];
-    json.key(kGaugeNames[i]).begin_object();
+    json.key(kGaugeTable[i].name).begin_object();
     json.key("count").value(stats.count);
     if (stats.count > 0) {
       json.key("min").value(stats.min);

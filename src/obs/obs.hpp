@@ -54,17 +54,25 @@ enum class Counter : int {
   kKernelMismatches,         // verify_kernels divergences detected
   kKernelFallbacks,          // stages degraded to reference kernels
   kFaultsInjected,           // fault-battery entries evaluated
+  kBatchTrials,              // trials routed through the batched trial engine
   kAdversarialEvaluations,   // hill-climb objective evaluations (nondet:
                              // parallel restarts run past the serial early exit)
   kMemoHits,                 // MemoCache hits (nondet: races both-compute)
   kMemoMisses,               // MemoCache misses
+  kBatchPeels,               // batch lanes peeled off to scalar execution
+                             // (nondet: lane grouping follows chunk bounds)
+  kBatchLockstepShared,      // batch lanes that shared a leader's execution
+  kCalendarResizes,          // calendar-queue re-bucketing passes (nondet:
+                             // fires inside adversarial evaluations too)
   kCount
 };
 
 /// Low-frequency scalar samples merged as (count, min, max, sum).
 enum class Gauge : int {
-  kOmegaSlack = 0,  // per-signal min ω slack from the margin sweep
-  kEq1Slack,        // per-signal min Eq. 1 slack
+  kOmegaSlack = 0,   // per-signal min ω slack from the margin sweep
+  kEq1Slack,         // per-signal min Eq. 1 slack
+  kCalendarFill,     // events per bucket at each calendar resize (nondet:
+                     // sampled inside adversarial evaluations too)
   kCount
 };
 
@@ -73,7 +81,15 @@ struct CounterInfo {
   bool deterministic;  // stable across worker counts
 };
 
+/// Gauges carry the same determinism contract as counters: a gauge whose
+/// samples depend on scheduling is dropped from deterministic exports.
+struct GaugeInfo {
+  const char* name;
+  bool deterministic;
+};
+
 const CounterInfo& counter_info(Counter c);
+const GaugeInfo& gauge_info(Gauge g);
 const char* gauge_name(Gauge g);
 
 // ---------------------------------------------------------------------------

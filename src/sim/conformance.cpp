@@ -9,6 +9,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
+#include "sim/trial_batch.hpp"
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -332,8 +333,21 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
         // exports, kept in wall-clock traces.
         const obs::Span chunk_span = obs::Span::task("trials", begin);
         obs::count(obs::Counter::kTrialsRun, end - begin);
-        std::optional<Simulator> sim;  // one per chunk, reset per trial
         const bool verify = options.verify_kernels && !options.reference_kernels;
+        if (!options.reference_kernels && !options.reference_driver) {
+          // Default engine: the chunk's trials run through the batched
+          // calendar-queue engine, 64 lanes per group.
+          TrialBatch batch(compiled);
+          std::vector<ClosedLoopConfig> configs;
+          for (int r = begin; r < end; r += TrialBatch::kLanes) {
+            const int m = std::min(TrialBatch::kLanes, end - r);
+            configs.clear();
+            for (int i = 0; i < m; ++i) configs.push_back(trial_config(r + i));
+            batch.run(spec, binding, configs.data(), m, &trials[static_cast<std::size_t>(r)]);
+          }
+          if (!verify) return;
+        }
+        std::optional<Simulator> sim;  // one per chunk, reset per trial
         for (int r = begin; r < end; ++r) {
           const ClosedLoopConfig config = trial_config(r);
           ConformanceReport trial;
@@ -342,12 +356,16 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
             // Old cost model: compile + construct per trial.
             Simulator fresh(compiled.netlist(), compiled.lib(), config.sim);
             run_once(spec, binding, fresh, config, trial);
-          } else if (!sim) {
-            sim.emplace(compiled, config.sim);
+          } else if (options.reference_driver) {
+            // Frozen PR-3 driver: reused compiled simulator, heap queue.
+            if (!sim)
+              sim.emplace(compiled, config.sim);
+            else
+              sim->reset(config.sim);
             run_once(spec, binding, *sim, config, trial);
           } else {
-            sim->reset(config.sim);
-            run_once(spec, binding, *sim, config, trial);
+            // Batched trial computed above; verify it against the oracle.
+            trial = std::move(trials[static_cast<std::size_t>(r)]);
           }
           if (verify) {
             if (testing::kernel_fault_injection()) ++trial.internal_toggles;

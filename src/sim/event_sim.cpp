@@ -14,8 +14,9 @@ namespace {
 constexpr double kTimeEps = 1e-9;
 }
 
-Simulator::Simulator(const CompiledNetlist& compiled, const SimulatorOptions& options)
-    : compiled_(&compiled), rng_(options.seed) {
+Simulator::Simulator(const CompiledNetlist& compiled, const SimulatorOptions& options,
+                     QueueKind queue)
+    : compiled_(&compiled), rng_(options.seed), events_(queue) {
   reset(options);
 }
 
@@ -48,6 +49,7 @@ void Simulator::reset(const SimulatorOptions& options) {
   now_ = 0.0;
   initialized_ = false;
   observer_ = {};
+  commit_log_ = nullptr;
 
   // Delay assignment: exactly the draw sequence a fresh construction makes
   // (the seed identifies the same delay vector everywhere).
@@ -165,8 +167,23 @@ void Simulator::initialize(const std::vector<std::pair<NetId, bool>>& fixed_valu
   }
   NSHOT_ASSERT(pending.empty(), "initialize: combinational cycle or undriven input");
   projected_ = values_;
+  arm_initial_storage();
+}
 
-  // Arm storage elements that are excited in the initial state.
+void Simulator::initialize_from_settled(const std::vector<std::uint8_t>& settled) {
+  NSHOT_REQUIRE(!initialized_, "initialize must be called exactly once");
+  NSHOT_REQUIRE(settled.size() == static_cast<std::size_t>(compiled_->num_nets()),
+                "initialize_from_settled needs one value per net");
+  initialized_ = true;
+  values_ = settled;
+  projected_ = values_;
+  arm_initial_storage();
+}
+
+// Arm storage elements that are excited in the initial state.  Gate order
+// fixes the seq numbers of the initial events, so both initialize paths
+// share this pass verbatim.
+void Simulator::arm_initial_storage() {
   for (GateId g = 0; g < compiled_->num_gates(); ++g) {
     const CompiledGate& gate = compiled_->gate(g);
     if (gate.type == GateType::kMhsFlipFlop) {
@@ -186,14 +203,14 @@ void Simulator::set_input(NetId net, bool value, double at_time) {
   schedule_net(net, value, at_time);
 }
 
-void Simulator::schedule_net(NetId net, bool value, double time, std::uint64_t generation) {
+void Simulator::schedule_net(NetId net, bool value, double time, std::uint32_t generation) {
   // Driver activity on a pinned net is swallowed by the fault, not merely
   // dropped at commit time: scheduling it would corrupt the projected view
   // (release_net re-derives the driver value from scratch).
   if (forced_[static_cast<std::size_t>(net)]) return;
   if (generation == 0 && (projected_[static_cast<std::size_t>(net)] != 0) == value) return;
   projected_[static_cast<std::size_t>(net)] = value ? 1 : 0;
-  events_.push(Event{time, next_seq_++, EventKind::kNetChange, net, value, generation});
+  events_.push(Event{time, next_seq_++, net, generation, EventKind::kNetChange, value});
 }
 
 void Simulator::commit_net(NetId net, bool value, bool forced_commit) {
@@ -201,7 +218,10 @@ void Simulator::commit_net(NetId net, bool value, bool forced_commit) {
   if ((values_[static_cast<std::size_t>(net)] != 0) == value) return;
   values_[static_cast<std::size_t>(net)] = value ? 1 : 0;
   ++toggles_[static_cast<std::size_t>(net)];
-  if (observer_) observer_(net, value, now_);
+  if (commit_log_ != nullptr)
+    commit_log_->push_back(Commit{net, value});
+  else if (observer_)
+    observer_(net, value, now_);
   for (const GateId g : compiled_->fanout(net)) evaluate_gate(g);
 }
 
@@ -264,8 +284,8 @@ void Simulator::evaluate_gate(GateId g) {
         st.has_pending = true;
         st.pending_value = v;
         projected_[static_cast<std::size_t>(out)] = v ? 1 : 0;
-        events_.push(Event{now_ + gate_delay_[static_cast<std::size_t>(g)], next_seq_++,
-                           EventKind::kNetChange, out, v, st.generation + 1});
+        events_.push(Event{now_ + gate_delay_[static_cast<std::size_t>(g)], next_seq_++, out,
+                           st.generation + 1, EventKind::kNetChange, v});
       }
       return;
     }
@@ -294,8 +314,8 @@ void Simulator::handle_mhs_input(GateId g) {
   if (set && st.set_rise < 0.0) {
     st.set_rise = now_;
     if (!q_projected)
-      events_.push(Event{now_ + omega, next_seq_++, EventKind::kMhsProbe, g,
-                         /*value=set side*/ true, 0});
+      events_.push(Event{now_ + omega, next_seq_++, g, 0, EventKind::kMhsProbe,
+                         /*value=set side*/ true});
   } else if (!set && st.set_rise >= 0.0) {
     // Falling edge: a pulse of width >= ω fires even if the probe has not
     // been processed yet (exact-width boundary); shorter pulses are
@@ -313,8 +333,8 @@ void Simulator::handle_mhs_input(GateId g) {
   if (reset && st.reset_rise < 0.0) {
     st.reset_rise = now_;
     if (q_projected)
-      events_.push(Event{now_ + omega, next_seq_++, EventKind::kMhsProbe, g,
-                         /*value=reset side*/ false, 0});
+      events_.push(Event{now_ + omega, next_seq_++, g, 0, EventKind::kMhsProbe,
+                         /*value=reset side*/ false});
   } else if (!reset && st.reset_rise >= 0.0) {
     if (now_ + kTimeEps >= st.reset_rise + omega && q_projected) {
       const double fire = st.reset_rise + tau_;
@@ -382,6 +402,52 @@ bool Simulator::step() {
   }
   commit_net(event.target, event.value);
   return true;
+}
+
+Simulator::BurstResult Simulator::run_burst(const int* net_signal, double time_limit,
+                                            double bound, const NetObserver* pre_check,
+                                            bool single) {
+  NSHOT_REQUIRE(initialized_, "initialize the simulator before stepping");
+  while (true) {
+    if (events_.empty()) return {BurstStop::kQuiesced};
+    if (max_events_ != 0 && events_processed_ >= max_events_) {
+      budget_exhausted_ = true;
+      return {BurstStop::kBudget};
+    }
+    ++events_processed_;
+    const Event event = events_.top();
+    events_.pop();
+    now_ = event.time;
+
+    if (event.kind == EventKind::kMhsProbe) {
+      handle_mhs_probe(event.target, event.value);
+    } else {
+      bool live = true;
+      if (event.generation != 0) {  // cancelled inertial events carry a stale generation
+        const GateId driver = compiled_->driver(event.target);
+        NSHOT_ASSERT(driver >= 0, "generation event on undriven net");
+        InertialState& st = inertial_[static_cast<std::size_t>(driver)];
+        if (!st.has_pending || event.generation != st.generation + 1)
+          live = false;  // stale
+        else
+          st.has_pending = false;
+      }
+      // commit_net, inlined: drop while forced or unchanged, else flip,
+      // notify in commit order, evaluate the fanout.
+      const std::size_t n = static_cast<std::size_t>(event.target);
+      if (live && forced_[n] == 0 && (values_[n] != 0) != event.value) {
+        values_[n] = event.value ? 1 : 0;
+        ++toggles_[n];
+        if (pre_check != nullptr) (*pre_check)(event.target, event.value, now_);
+        for (const GateId g : compiled_->fanout(event.target)) evaluate_gate(g);
+        if (net_signal[n] >= 0) return {BurstStop::kObservable, event.target, event.value};
+      }
+    }
+    if (single) return {BurstStop::kBound};
+    if (now_ >= time_limit) return {BurstStop::kTimeLimit};
+    if (events_.empty()) return {BurstStop::kQuiesced};
+    if (events_.top().time > bound) return {BurstStop::kBound};
+  }
 }
 
 void Simulator::run_until(double time_limit) {

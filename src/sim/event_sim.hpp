@@ -33,6 +33,7 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/compiled_netlist.hpp"
+#include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
 namespace nshot::sim {
@@ -64,7 +65,11 @@ class Simulator {
   /// Run against a pre-compiled netlist (the caller keeps it alive for the
   /// simulator's lifetime).  This is the hot-path constructor: the sweeps
   /// compile once per campaign and reset() the simulator per trial.
-  Simulator(const CompiledNetlist& compiled, const SimulatorOptions& options);
+  /// `queue` picks the event-queue engine; it is part of the simulator's
+  /// identity, not per-trial state, and survives reset() — per-trial
+  /// configs rebuilt without the flag cannot silently flip the mode.
+  Simulator(const CompiledNetlist& compiled, const SimulatorOptions& options,
+            QueueKind queue = QueueKind::kBinaryHeap);
 
   /// Convenience constructor compiling the netlist privately — identical
   /// behaviour, pays the compile on every construction.  Also the
@@ -83,6 +88,14 @@ class Simulator {
   /// initially-excited storage elements.  Must be called exactly once
   /// before stepping.
   void initialize(const std::vector<std::pair<netlist::NetId, bool>>& fixed_values);
+
+  /// initialize() with the combinational settle already done: `settled`
+  /// holds one byte per net, exactly what initialize() would have computed
+  /// from the fixed values (the batched engine settles 64 trials at once
+  /// in sim::BatchPlanes and hands each lane's plane slice here).  Runs
+  /// the same storage-arming pass as initialize(), so the event sequence —
+  /// seq numbers included — is identical.
+  void initialize_from_settled(const std::vector<std::uint8_t>& settled);
 
   /// Schedule an external change of a primary input.
   void set_input(netlist::NetId net, bool value, double at_time);
@@ -107,8 +120,52 @@ class Simulator {
 
   void set_observer(NetObserver observer) { observer_ = std::move(observer); }
 
+  /// One committed net change, in commit order.
+  struct Commit {
+    netlist::NetId net;
+    bool value;
+  };
+
+  /// Route committed changes into `log` instead of dispatching observer_.
+  /// The driver drains the log after every step/force/release — commit
+  /// times are recoverable as now() because at most one commit happens per
+  /// step (evaluate_gate only schedules) and forces drain immediately.
+  /// This replaces a std::function call per commit with a push_back; the
+  /// batched trial driver lives on it.  Cleared by reset().
+  void set_commit_log(std::vector<Commit>* log) { commit_log_ = log; }
+
   /// Process the next event; returns false when the queue is empty.
   bool step();
+
+  /// Why run_burst stopped.
+  enum class BurstStop : std::uint8_t {
+    kObservable,  // an observable net committed (see BurstResult net/value)
+    kQuiesced,    // event queue drained
+    kBudget,      // event budget tripped (budget_exhausted() is now true)
+    kTimeLimit,   // now() reached the time limit after an event
+    kBound,       // the next event lies strictly past `bound`
+  };
+  struct BurstResult {
+    BurstStop stop;
+    netlist::NetId net = -1;
+    bool value = false;
+  };
+
+  /// The fused hot loop of the batched trial driver: process events
+  /// back-to-back — pop, commit, fanout evaluation inline — until an
+  /// observable net commits (net_signal[net] >= 0), the queue drains, the
+  /// event budget trips, now() reaches `time_limit`, or the next pending
+  /// event lies past `bound`.  Exactly equivalent to calling step() per
+  /// event with a commit log drained between steps (the check order after
+  /// each event is the drain loop's: time limit, queue, bound), minus the
+  /// per-event log traffic and accessor round-trips.  `pre_check`, when
+  /// non-null, is invoked for every commit in commit order (the VCD/probe
+  /// observers); the caller runs the spec walk on the returned observable
+  /// commit.  With `single` set, exactly one event is processed and the
+  /// post-event checks are skipped — the caller's loop re-derives them —
+  /// which is the "commit the just-scheduled input" step.
+  BurstResult run_burst(const int* net_signal, double time_limit, double bound,
+                        const NetObserver* pre_check, bool single = false);
 
   /// Run until the queue drains or `time_limit` is passed.
   void run_until(double time_limit);
@@ -142,46 +199,9 @@ class Simulator {
 
   const netlist::Netlist& circuit() const { return compiled_->netlist(); }
   const CompiledNetlist& compiled() const { return *compiled_; }
+  QueueKind queue_kind() const { return events_.kind(); }
 
  private:
-  enum class EventKind { kNetChange, kMhsProbe };
-
-  struct Event {
-    double time;
-    std::uint64_t seq;  // FIFO tie-break
-    EventKind kind;
-    int target;     // net id, or gate id for probes
-    bool value;     // net change value
-    std::uint64_t generation;  // for cancellable inertial events
-
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// Arena-backed binary min-heap on (time, seq).  The comparator is total
-  /// (seq is unique), so pop order — and therefore every simulation — is
-  /// identical to the std::priority_queue it replaces; clear() keeps the
-  /// arena's capacity across reset().
-  class EventQueue {
-   public:
-    bool empty() const { return heap_.empty(); }
-    const Event& top() const { return heap_.front(); }
-    void push(const Event& e) {
-      heap_.push_back(e);
-      std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
-    }
-    void pop() {
-      std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
-      heap_.pop_back();
-    }
-    void clear() { heap_.clear(); }
-
-   private:
-    std::vector<Event> heap_;
-  };
-
   struct MhsState {
     double set_rise = -1.0;    // time the (gated) set input last rose; -1 = low
     double reset_rise = -1.0;
@@ -190,12 +210,13 @@ class Simulator {
   };
 
   struct InertialState {
-    std::uint64_t generation = 0;  // invalidates the pending event
+    std::uint32_t generation = 0;  // invalidates the pending event (wraps with Event's)
     bool has_pending = false;
     bool pending_value = false;
   };
 
-  void schedule_net(netlist::NetId net, bool value, double time, std::uint64_t generation = 0);
+  void arm_initial_storage();
+  void schedule_net(netlist::NetId net, bool value, double time, std::uint32_t generation = 0);
   void commit_net(netlist::NetId net, bool value, bool forced_commit = false);
   void evaluate_gate(netlist::GateId g);
   bool eval_combinational(const CompiledGate& gate) const;
@@ -223,6 +244,7 @@ class Simulator {
   double now_ = 0.0;
   bool initialized_ = false;
   NetObserver observer_;
+  std::vector<Commit>* commit_log_ = nullptr;
 };
 
 }  // namespace nshot::sim

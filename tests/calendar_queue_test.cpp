@@ -1,0 +1,265 @@
+// Property tests of the calendar queue (sim/event_queue.hpp) against the
+// binary heap it replaced.  The simulator's determinism contract only
+// needs the queue to pop in (time, seq) order — any conforming queue
+// produces byte-identical simulations — so the battery drives both
+// structures through the same operation sequences and demands identical
+// pop streams, while also pinning the calendar-specific machinery:
+// same-tick FIFO stability, day/year geometry resizing under load, the
+// behind-cursor push the simulator's now()-epsilon scheduling permits,
+// and clear()'s arena-reuse + geometry-reset semantics (per-trial resize
+// trajectories must not depend on what earlier trials scheduled).
+//
+// The CI matrix runs this binary under ASan and TSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace nshot::sim {
+namespace {
+
+Event make_event(double time, std::uint64_t seq) {
+  Event e;
+  e.time = time;
+  e.seq = seq;
+  e.kind = (seq % 3 == 0) ? EventKind::kMhsProbe : EventKind::kNetChange;
+  e.target = static_cast<int>(seq % 17);
+  e.value = (seq % 2) != 0;
+  e.generation = seq * 7;
+  return e;
+}
+
+void expect_same_event(const Event& a, const Event& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.generation, b.generation);
+}
+
+/// Drive both queues through the same pushes, then drain both and compare
+/// the full pop streams.
+void expect_same_drain(const std::vector<Event>& events) {
+  BinaryHeapQueue heap;
+  CalendarQueue calendar;
+  for (const Event& e : events) {
+    heap.push(e);
+    calendar.push(e);
+  }
+  EXPECT_EQ(heap.size(), calendar.size());
+  std::uint64_t last_seq = 0;
+  double last_time = 0.0;
+  bool first = true;
+  while (!heap.empty()) {
+    ASSERT_FALSE(calendar.empty());
+    const Event want = heap.top();
+    const Event got = calendar.top();
+    expect_same_event(got, want);
+    // The stream itself must be sorted by (time, seq).
+    if (!first) EXPECT_TRUE(got.time > last_time || (got.time == last_time && got.seq > last_seq));
+    first = false;
+    last_time = got.time;
+    last_seq = got.seq;
+    heap.pop();
+    calendar.pop();
+  }
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(calendar.size(), 0u);
+}
+
+TEST(CalendarQueueTest, DrainMatchesBinaryHeapOnUniformTimes) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    const int n = 50 + static_cast<int>(rng.next_below(2000));
+    for (int i = 0; i < n; ++i)
+      events.push_back(make_event(rng.next_double(0.0, 1000.0), static_cast<std::uint64_t>(i)));
+    expect_same_drain(events);
+  }
+}
+
+TEST(CalendarQueueTest, DrainMatchesBinaryHeapOnClusteredTimes) {
+  // Simulator-shaped schedules: bursts of near-simultaneous events
+  // separated by long idle gaps, which stress the width estimate (tiny
+  // intra-burst gaps) and the year-wrap scan (inter-burst jumps).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    std::uint64_t seq = 0;
+    double base = 0.0;
+    const int bursts = 5 + static_cast<int>(rng.next_below(40));
+    for (int b = 0; b < bursts; ++b) {
+      base += rng.next_double(0.1, 5000.0);
+      const int burst = 1 + static_cast<int>(rng.next_below(40));
+      for (int i = 0; i < burst; ++i)
+        events.push_back(make_event(base + rng.next_double(0.0, 0.01), seq++));
+    }
+    expect_same_drain(events);
+  }
+}
+
+TEST(CalendarQueueTest, DrainMatchesBinaryHeapAcrossTimeScales) {
+  // Mixed magnitudes (1e-6 .. 1e6) force events far outside the current
+  // year, exercising find_min's fallback cursor jump.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    for (std::uint64_t i = 0; i < 600; ++i) {
+      const double scale = std::pow(10.0, static_cast<double>(rng.next_below(13)) - 6.0);
+      events.push_back(make_event(rng.next_double(0.0, 1.0) * scale, i));
+    }
+    expect_same_drain(events);
+  }
+}
+
+TEST(CalendarQueueTest, InterleavedPushPopMatchesBinaryHeap) {
+  // The simulator's actual access pattern: pops advance a clock and new
+  // events land at clock + delay, occasionally at clock - 1e-9 (the
+  // set_input epsilon), which pushes BEHIND the calendar cursor.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    BinaryHeapQueue heap;
+    CalendarQueue calendar;
+    std::uint64_t seq = 0;
+    double now = 0.0;
+    for (int op = 0; op < 5000; ++op) {
+      const bool push = heap.empty() || rng.next_bool(0.55);
+      if (push) {
+        const double t = rng.next_bool(0.05) ? now - 1e-9 : now + rng.next_double(0.0, 20.0);
+        const Event e = make_event(t, seq++);
+        heap.push(e);
+        calendar.push(e);
+      } else {
+        const Event want = heap.top();
+        ASSERT_FALSE(calendar.empty());
+        expect_same_event(calendar.top(), want);
+        now = want.time;
+        heap.pop();
+        calendar.pop();
+      }
+      ASSERT_EQ(heap.size(), calendar.size());
+    }
+    while (!heap.empty()) {
+      expect_same_event(calendar.top(), heap.top());
+      heap.pop();
+      calendar.pop();
+    }
+    EXPECT_TRUE(calendar.empty());
+  }
+}
+
+TEST(CalendarQueueTest, SameTickEventsPopInFifoOrder) {
+  // Every event on one tick: pop order must be exactly seq order (the
+  // swap-remove storage must never leak into the observable order).
+  CalendarQueue calendar;
+  constexpr std::uint64_t kEvents = 500;
+  for (std::uint64_t i = 0; i < kEvents; ++i) calendar.push(make_event(42.0, i));
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    ASSERT_FALSE(calendar.empty());
+    expect_same_event(calendar.top(), make_event(42.0, i));
+    calendar.pop();
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(CalendarQueueTest, SameTickFifoSurvivesInterleavedTicks) {
+  Rng rng(7);
+  std::vector<Event> events;
+  std::uint64_t seq = 0;
+  for (int tick = 0; tick < 60; ++tick) {
+    const double t = static_cast<double>(rng.next_below(10));  // heavy collisions
+    for (std::uint64_t i = 0; i < 1 + rng.next_below(8); ++i)
+      events.push_back(make_event(t, seq++));
+  }
+  expect_same_drain(events);
+}
+
+TEST(CalendarQueueTest, ResizesUnderLoadAndStaysOrdered) {
+  Rng rng(11);
+  CalendarQueue calendar;
+  BinaryHeapQueue heap;
+  // Fill far past the grow threshold (2 events per bucket from 16
+  // buckets), then drain past the shrink threshold, checking order
+  // throughout.
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const Event e = make_event(rng.next_double(0.0, 100.0), i);
+    calendar.push(e);
+    heap.push(e);
+  }
+  EXPECT_GT(calendar.resizes(), 0u);
+  EXPECT_GT(calendar.num_buckets(), std::size_t{16});
+  const std::size_t grown = calendar.num_buckets();
+  while (!heap.empty()) {
+    expect_same_event(calendar.top(), heap.top());
+    calendar.pop();
+    heap.pop();
+  }
+  EXPECT_LT(calendar.num_buckets(), grown);  // shrank on the way down
+}
+
+TEST(CalendarQueueTest, ClearResetsGeometryForArenaReuse) {
+  CalendarQueue calendar;
+  const std::size_t virgin_buckets = calendar.num_buckets();
+  const double virgin_width = calendar.day_width();
+
+  Rng rng(13);
+  for (std::uint64_t i = 0; i < 5000; ++i)
+    calendar.push(make_event(rng.next_double(0.0, 1e-3), i));  // tiny widths
+  EXPECT_GT(calendar.resizes(), 0u);
+
+  calendar.clear();
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(calendar.size(), 0u);
+  // Geometry must be back at the defaults: a reused queue's resize
+  // trajectory depends only on what THIS trial schedules.
+  EXPECT_EQ(calendar.num_buckets(), virgin_buckets);
+  EXPECT_EQ(calendar.day_width(), virgin_width);
+
+  // Reuse at a completely different time scale still matches the heap.
+  BinaryHeapQueue heap;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    const Event e = make_event(rng.next_double(0.0, 1e6), i);
+    calendar.push(e);
+    heap.push(e);
+  }
+  while (!heap.empty()) {
+    expect_same_event(calendar.top(), heap.top());
+    calendar.pop();
+    heap.pop();
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(CalendarQueueTest, EventQueueDispatchesByKind) {
+  EventQueue heap_backed;  // default
+  EventQueue calendar_backed(QueueKind::kCalendar);
+  EXPECT_EQ(heap_backed.kind(), QueueKind::kBinaryHeap);
+  EXPECT_EQ(calendar_backed.kind(), QueueKind::kCalendar);
+
+  Rng rng(17);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const Event e = make_event(rng.next_double(0.0, 50.0), i);
+    heap_backed.push(e);
+    calendar_backed.push(e);
+  }
+  while (!heap_backed.empty()) {
+    ASSERT_FALSE(calendar_backed.empty());
+    expect_same_event(calendar_backed.top(), heap_backed.top());
+    heap_backed.pop();
+    calendar_backed.pop();
+  }
+  EXPECT_TRUE(calendar_backed.empty());
+
+  heap_backed.clear();
+  calendar_backed.clear();
+  EXPECT_TRUE(heap_backed.empty());
+  EXPECT_TRUE(calendar_backed.empty());
+}
+
+}  // namespace
+}  // namespace nshot::sim

@@ -8,6 +8,7 @@
 //   NSHOT_UPDATE_GOLDEN=1 ./golden_stress_test
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -40,12 +41,27 @@ std::string render_report(const std::string& name, int jobs) {
   return faults::stress_report_json(faults::run_stress(g, result.circuit, name, options));
 }
 
+/// Write `text` to `path`; false when the stream failed (missing parent
+/// directory, read-only golden tree, disk full, ...).  The regeneration
+/// path must FAIL LOUDLY on a bad write: a silently dropped golden makes
+/// the next plain run pass against stale bytes, which is indistinguishable
+/// from "nothing changed".
+bool write_golden(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << text;
+  out.flush();
+  return out.good();
+}
+
 void compare_with_golden(const std::string& name) {
   const std::string path = std::string(NSHOT_GOLDEN_DIR) + "/stress_" + name + ".json";
   const std::string actual = render_report(name, /*jobs=*/1);
 
   if (std::getenv("NSHOT_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream(path) << actual;
+    ASSERT_TRUE(write_golden(path, actual))
+        << "NSHOT_UPDATE_GOLDEN is set but " << path
+        << " could not be written (read-only golden dir?)";
     GTEST_SKIP() << "regenerated " << path;
   }
 
@@ -65,6 +81,20 @@ void compare_with_golden(const std::string& name) {
 TEST(GoldenStressTest, Chu133) { compare_with_golden("chu133"); }
 
 TEST(GoldenStressTest, Converta) { compare_with_golden("converta"); }
+
+TEST(GoldenStressTest, RegenerationFailureIsDetected) {
+  // An unwritable target (nonexistent parent directory — chmod games
+  // don't bite when the test runs as root) must report failure, which
+  // compare_with_golden turns into a hard ASSERT instead of a silent
+  // skip.
+  const std::string bad =
+      std::string(NSHOT_GOLDEN_DIR) + "/no_such_subdir/stress_bogus.json";
+  EXPECT_FALSE(write_golden(bad, "{}"));
+  // Sanity: the same helper succeeds against the real golden tree.
+  const std::string ok = std::string(NSHOT_GOLDEN_DIR) + "/.write_probe.tmp";
+  ASSERT_TRUE(write_golden(ok, "{}"));
+  std::remove(ok.c_str());
+}
 
 }  // namespace
 }  // namespace nshot

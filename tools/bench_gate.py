@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over BENCH_kernels.json.
+
+Compares a freshly measured bench JSON against the committed one using
+the IN-RUN speedup ratios (reference/compiled, compiled/batched), never
+absolute milliseconds: both sides of each ratio were measured in the same
+process on the same machine, so the ratios transfer across hosts while
+wall-clock numbers do not.
+
+Checks, in order:
+  1. the fresh run asserts byte_identical (all engines produced the same
+     reports — the correctness gate the speedups are conditional on);
+  2. every speedup ratio present in both files must satisfy
+         fresh >= committed * (1 - tolerance).
+
+Smoke runs (reps=1, shrunken workloads) are noisy, so CI passes a wide
+--tolerance; nightly full runs can tighten it.  Dependency-free on
+purpose: CI images carry a bare python3.
+
+Usage: bench_gate.py COMMITTED.json FRESH.json [--tolerance 0.25]
+Exits 0 when the gate passes, 1 with one line per violation.
+"""
+
+import argparse
+import json
+import sys
+
+RATIO_KEYS = (
+    "conformance_speedup",
+    "stress_speedup",
+    "total_speedup",
+    "conformance_batch_speedup",
+    "stress_batch_speedup",
+    "total_batch_speedup",
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed", help="checked-in BENCH_kernels.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_kernels.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative ratio regression (0.25 = fresh may be 25%% below committed)",
+    )
+    args = parser.parse_args()
+
+    with open(args.committed) as f:
+        committed = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = []
+    if fresh.get("byte_identical") is not True:
+        failures.append("fresh run does not assert byte_identical — engines diverged")
+
+    for key in RATIO_KEYS:
+        if key not in committed or key not in fresh:
+            continue  # ratio introduced/retired across versions: nothing to compare
+        want = committed[key] * (1.0 - args.tolerance)
+        got = fresh[key]
+        status = "ok" if got >= want else "REGRESSED"
+        print(
+            f"{key:32s} committed {committed[key]:6.3f}  fresh {got:6.3f}  "
+            f"floor {want:6.3f}  {status}"
+        )
+        if got < want:
+            failures.append(
+                f"{key}: fresh {got:.3f} below floor {want:.3f} "
+                f"(committed {committed[key]:.3f}, tolerance {args.tolerance:.0%})"
+            )
+
+    if failures:
+        for line in failures:
+            print(f"bench_gate: {line}", file=sys.stderr)
+        return 1
+    print("bench_gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,34 @@
 // Scalability bench: word-parallel kernels vs their ordered-container
-// references on generated controllers 10-100x larger than the Table 2
+// references on generated controllers 10-1000x larger than the Table 2
 // suite.
 //
 // Table 2 tops out at 4729 states (tsbmsiBRK); the tiers here extend the
 // same parallel-chains controller family (the shape of master-read /
-// wrdatab) to ~131k states, where the ordered std::set / std::map
-// reference kernels leave the cache and the word-parallel StateSet /
-// bit-plane engines pull away.  Per tier, four kernels run through both
-// paths:
-//   * regions       — compute_regions vs compute_regions_reference
-//                     (excitation regions, quiescent closure, trigger SCCs);
+// wrdatab) to ~524k states by default and ~2.1M behind --huge, where the
+// ordered std::set / std::map reference kernels leave the cache and the
+// word-parallel StateSet / bit-plane engines pull away.  Per tier, four
+// kernels run through both paths:
+//   * regions       — compute_all_regions (shared plane sweep + threaded
+//                     per-signal floods) vs compute_regions_reference;
 //   * coding        — check_csc / check_usc / count_csc_conflicts /
 //                     detonant_states vs their *_reference twins;
 //   * trigger       — enforce_trigger_requirement, supercube-containment
 //                     fast path vs the code-at-a-time reference membership;
-//   * reachability  — build_state_graph, mask-compiled firing over hashed
-//                     marking maps vs loop firing over ordered std::map.
-// Every pair is asserted byte-identical (full region renderings, report
-// fingerprints, structural SG fingerprints) outside the timers; the run
-// aborts on any divergence, and — except under --smoke — also aborts if
-// the combined regions+coding+trigger speedup at the largest tier falls
-// below 3x, the floor this PR claims.
+//   * reachability  — build_state_graph, sharded level-synchronous BFS over
+//                     mask-compiled firing vs loop firing over ordered
+//                     std::map.
+// The fast legs take a --jobs axis (thread×word fusion: the word-parallel
+// kernels chunk their word ranges across the pool); every case row records
+// the jobs value and the host's hardware concurrency so the JSON is
+// interpretable on any machine.
+//
+// Every pair is asserted byte-identical outside the timers; tiers up to
+// 131k states compare full region renderings and structural SG
+// fingerprints, larger tiers compare deterministically sampled slices
+// (evenly spaced signals, evenly spaced 4096-state windows) because a full
+// 524k-state rendering is a ~100MB string.  The run aborts on any
+// divergence, and — except under --smoke — also aborts if the combined
+// regions+coding+trigger speedup at the largest tier falls below 3x.
 //
 // `--smoke` keeps only the smallest tiers with one timing sample for CI
 // sanity; the JSON records the flag so smoke numbers are never mistaken
@@ -28,6 +36,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -52,6 +61,10 @@ namespace {
 
 using namespace nshot;
 using Clock = std::chrono::steady_clock;
+
+/// Above this state count the byte-identity assertions switch from full
+/// renderings to sampled slices.
+constexpr int kFullIdentityLimit = 200000;
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
@@ -89,19 +102,47 @@ std::string tier_g(int chains) {
                                         /*master_is_input=*/true, chain_signals, inputs, outputs);
 }
 
-/// Full structural fingerprint of a state graph (same shape as the one in
-/// tests/kernel_equivalence_test.cpp): signal table, every state with code
-/// and name, every edge, the initial state.
-std::string sg_fingerprint(const sg::StateGraph& g) {
-  std::string out = "init=" + std::to_string(g.initial()) + ";";
-  for (int i = 0; i < g.num_signals(); ++i)
-    out += g.signal(i).name + (g.is_input(i) ? "?" : "!") + ",";
-  for (sg::StateId s = 0; s < g.num_states(); ++s) {
+/// Structural fingerprint of the state slice [begin, end): codes, names
+/// and out-edges in state order (same rendering per state as the full
+/// fingerprint in tests/kernel_equivalence_test.cpp).
+std::string sg_slice_fingerprint(const sg::StateGraph& g, sg::StateId begin, sg::StateId end) {
+  std::string out;
+  for (sg::StateId s = begin; s < end && s < g.num_states(); ++s) {
     out += "\n" + std::to_string(s) + ":" + g.state_name(s) + "=" + std::to_string(g.code(s));
     for (const sg::Edge& e : g.out_edges(s))
       out += " --" + g.label_name(e.label) + "--> " + std::to_string(e.target);
   }
   return out;
+}
+
+/// Full structural fingerprint: signal table + every state slice.
+std::string sg_fingerprint(const sg::StateGraph& g) {
+  std::string out = "init=" + std::to_string(g.initial()) + ";";
+  for (int i = 0; i < g.num_signals(); ++i)
+    out += g.signal(i).name + (g.is_input(i) ? "?" : "!") + ",";
+  return out + sg_slice_fingerprint(g, 0, g.num_states());
+}
+
+/// Do two graphs agree? Full fingerprints below kFullIdentityLimit;
+/// above, the signal tables, state counts, initial states and eight
+/// evenly spaced 4096-state windows (first and last included).
+bool sg_identical(const sg::StateGraph& a, const sg::StateGraph& b) {
+  if (a.num_states() != b.num_states() || a.num_signals() != b.num_signals() ||
+      a.initial() != b.initial())
+    return false;
+  if (a.num_states() <= kFullIdentityLimit) return sg_fingerprint(a) == sg_fingerprint(b);
+  constexpr int kWindows = 8;
+  constexpr sg::StateId kWindow = 4096;
+  for (int w = 0; w < kWindows; ++w) {
+    const sg::StateId begin = static_cast<sg::StateId>(
+        (static_cast<long long>(a.num_states() - kWindow) * w) / (kWindows - 1));
+    if (sg_slice_fingerprint(a, begin, begin + kWindow) !=
+        sg_slice_fingerprint(b, begin, begin + kWindow))
+      return false;
+  }
+  for (int i = 0; i < a.num_signals(); ++i)
+    if (a.signal(i).name != b.signal(i).name || a.is_input(i) != b.is_input(i)) return false;
+  return true;
 }
 
 std::string trigger_fingerprint(const sg::StateGraph& g, const core::TriggerReport& report) {
@@ -113,11 +154,13 @@ std::string trigger_fingerprint(const sg::StateGraph& g, const core::TriggerRepo
 struct TierTiming {
   std::string name;
   int states = 0, signals = 0;
+  int jobs = 1;
   double regions_reference_ms = 0, regions_fast_ms = 0;
   double coding_reference_ms = 0, coding_fast_ms = 0;
   double trigger_reference_ms = 0, trigger_fast_ms = 0;
   double reachability_reference_ms = 0, reachability_fast_ms = 0;
   bool identical = false;
+  bool sampled_identity = false;  // true above kFullIdentityLimit
 
   /// The acceptance ratio: the three SG-analysis kernels combined (the
   /// reachability kernel has its own ratio but a separate reference axis —
@@ -129,23 +172,35 @@ struct TierTiming {
   }
 };
 
-TierTiming measure_tier(int chains, bool smoke) {
+TierTiming measure_tier(int chains, bool smoke, int jobs) {
   const std::string g_text = tier_g(chains);
   const stg::Stg net = stg::parse_g(g_text);
-  const sg::StateGraph g = stg::build_state_graph(net);
+  stg::ReachabilityOptions build_options;
+  build_options.max_states = 1u << 22;  // chains-10x3 reaches ~2.1M states
+  build_options.jobs = jobs;
+  const sg::StateGraph g = stg::build_state_graph(net, build_options);
 
   TierTiming timing;
   timing.name = "chains-" + std::to_string(chains) + "x3";
   timing.states = g.num_states();
   timing.signals = g.num_signals();
+  timing.jobs = jobs;
+  timing.sampled_identity = timing.states > kFullIdentityLimit;
   const std::vector<sg::SignalId> noninput = g.noninput_signals();
   // Deep min-of-N converges on the true floor on a noisy host, but the
   // reference sweeps at the large tiers run for seconds each; scale the
   // sample count down as the tier grows.
-  const int reps = smoke ? 1 : timing.states > 100000 ? 2 : timing.states > 20000 ? 3 : 5;
+  const int reps = smoke                     ? 1
+                   : timing.states > 1000000 ? 1
+                   : timing.states > 100000  ? 2
+                   : timing.states > 20000   ? 3
+                                             : 5;
 
   // --- regions: ER extraction + quiescent closure + trigger SCCs ---------
+  // The fast leg is the pipeline's production call: one shared plane sweep
+  // for all signals, then the per-signal floods spread over the pool.
   std::size_t reference_regions = 0, fast_regions = 0;
+  std::vector<sg::SignalRegions> fast_all_regions;
   MinTimer regions_ref_t, regions_fast_t;
   for (int r = 0; r < reps; ++r) {
     regions_ref_t.sample([&] {
@@ -154,20 +209,24 @@ TierTiming measure_tier(int chains, bool smoke) {
         reference_regions += sg::compute_regions_reference(g, a).regions.size();
     });
     regions_fast_t.sample([&] {
+      fast_all_regions = sg::compute_all_regions(g, jobs);
       fast_regions = 0;
-      for (const sg::SignalId a : noninput)
-        fast_regions += sg::compute_regions(g, a).regions.size();
+      for (const sg::SignalRegions& sr : fast_all_regions) fast_regions += sr.regions.size();
     });
   }
   timing.regions_reference_ms = regions_ref_t.best;
   timing.regions_fast_ms = regions_fast_t.best;
 
   bool identical = reference_regions == fast_regions;
-  // Byte equality over the full rendering, one signal at a time so the two
-  // strings in flight stay bounded on the 131k-state tier.
-  for (const sg::SignalId a : noninput)
-    identical = identical && sg::compute_regions_reference(g, a).to_string(g) ==
-                                 sg::compute_regions(g, a).to_string(g);
+  // Byte equality over the rendering, one signal at a time so the two
+  // strings in flight stay bounded; above the full-identity limit a
+  // deterministic sample of signals (first, last, every third) stands in
+  // for the set — a full 524k-state rendering per signal is ~100MB.
+  for (std::size_t k = 0; k < noninput.size(); ++k) {
+    if (timing.sampled_identity && k % 3 != 0 && k + 1 != noninput.size()) continue;
+    identical = identical && sg::compute_regions_reference(g, noninput[k]).to_string(g) ==
+                                 fast_all_regions[k].to_string(g);
+  }
 
   // --- coding: CSC / USC / conflict counting / detonant states -----------
   std::size_t reference_coding = 0, fast_coding = 0;
@@ -181,19 +240,21 @@ TierTiming measure_tier(int chains, bool smoke) {
         reference_coding += sg::detonant_states_reference(g, a).size();
     });
     coding_fast_t.sample([&] {
-      fast_coding = sg::check_csc(g).violations.size() + sg::check_usc(g).violations.size() +
-                    sg::count_csc_conflicts(g);
-      for (const sg::SignalId a : noninput) fast_coding += sg::detonant_states(g, a).size();
+      fast_coding = sg::check_csc(g, jobs).violations.size() +
+                    sg::check_usc(g, jobs).violations.size() + sg::count_csc_conflicts(g, jobs);
+      for (const std::vector<sg::StateId>& det : sg::all_detonant_states(g, jobs))
+        fast_coding += det.size();
     });
   }
   timing.coding_reference_ms = coding_ref_t.best;
   timing.coding_fast_ms = coding_fast_t.best;
 
   identical = identical && reference_coding == fast_coding &&
-              sg::check_csc_reference(g).summary() == sg::check_csc(g).summary() &&
-              sg::check_usc_reference(g).summary() == sg::check_usc(g).summary();
-  for (const sg::SignalId a : noninput)
-    identical = identical && sg::detonant_states_reference(g, a) == sg::detonant_states(g, a);
+              sg::check_csc_reference(g).summary() == sg::check_csc(g, jobs).summary() &&
+              sg::check_usc_reference(g).summary() == sg::check_usc(g, jobs).summary();
+  const std::vector<std::vector<sg::StateId>> fast_detonant = sg::all_detonant_states(g, jobs);
+  for (std::size_t k = 0; k < noninput.size(); ++k)
+    identical = identical && sg::detonant_states_reference(g, noninput[k]) == fast_detonant[k];
 
   // --- trigger: cube membership over all trigger regions ------------------
   // The cover under test is the monotonous ER-supercube cover: one cube per
@@ -201,14 +262,13 @@ TierTiming measure_tier(int chains, bool smoke) {
   // so both membership kernels scan the whole cover without mutating it.
   // The spec part of DerivedSpec is only consulted when a repair is
   // attempted, so an empty spec with the standard output mapping suffices
-  // — full derive_spec at 131k states x 25 signals would add minutes of
+  // — full derive_spec at 524k states x 28 signals would add minutes of
   // setup for bytes the kernel never reads.
-  const std::vector<sg::SignalRegions> regions = sg::compute_all_regions(g);
-  core::DerivedSpec derived{logic::TwoLevelSpec(g.num_signals(), 2 * static_cast<int>(noninput.size())),
-                            {}};
+  const std::vector<sg::SignalRegions>& regions = fast_all_regions;
+  core::DerivedSpec derived{
+      logic::TwoLevelSpec(g.num_signals(), 2 * static_cast<int>(noninput.size())), {}};
   for (std::size_t k = 0; k < noninput.size(); ++k)
-    derived.outputs.push_back(
-        {noninput[k], 2 * static_cast<int>(k), 2 * static_cast<int>(k) + 1});
+    derived.outputs.push_back({noninput[k], 2 * static_cast<int>(k), 2 * static_cast<int>(k) + 1});
   logic::Cover base_cover(g.num_signals(), derived.spec.num_outputs());
   for (const sg::SignalRegions& sr : regions) {
     const core::OutputIndex& index = derived.for_signal(sr.signal);
@@ -245,12 +305,13 @@ TierTiming measure_tier(int chains, bool smoke) {
               reference_cover.to_string() == base_cover.to_string();
 
   // --- reachability: marking-graph construction from the STG --------------
-  stg::ReachabilityOptions options;
+  stg::ReachabilityOptions options = build_options;
   int reference_states = 0, fast_states = 0;
   MinTimer reach_ref_t, reach_fast_t;
   for (int r = 0; r < reps; ++r) {
     options.reference_maps = true;
-    reach_ref_t.sample([&] { reference_states = stg::build_state_graph(net, options).num_states(); });
+    reach_ref_t.sample(
+        [&] { reference_states = stg::build_state_graph(net, options).num_states(); });
     options.reference_maps = false;
     reach_fast_t.sample([&] { fast_states = stg::build_state_graph(net, options).num_states(); });
   }
@@ -259,8 +320,7 @@ TierTiming measure_tier(int chains, bool smoke) {
 
   options.reference_maps = true;
   const sg::StateGraph reference_g = stg::build_state_graph(net, options);
-  identical = identical && reference_states == fast_states &&
-              sg_fingerprint(reference_g) == sg_fingerprint(g);
+  identical = identical && reference_states == fast_states && sg_identical(reference_g, g);
 
   timing.identical = identical;
   return timing;
@@ -270,22 +330,36 @@ TierTiming measure_tier(int chains, bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool huge = false;
+  int jobs = 1;
+  int only_tier = 0;
   const char* out_path = "BENCH_scale.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
+    else if (std::strcmp(argv[i], "--huge") == 0)
+      huge = true;
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = std::max(1, std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc)
+      only_tier = std::clamp(std::atoi(argv[++i]), 1, 10);
     else
       out_path = argv[i];
   }
 
   const int hardware = exec::hardware_jobs();
-  // 5..8 chains of 3 signals: ~2k, ~8k, ~33k, ~131k states — the largest
-  // tier is ~28x the largest Table 2 circuit and ~62x master-read, the
-  // biggest circuit the per-paper benches exercise.
-  const std::vector<int> tiers = smoke ? std::vector<int>{5, 6} : std::vector<int>{5, 6, 7, 8};
+  // 5..9 chains of 3 signals: ~2k, ~8k, ~33k, ~131k, ~524k states — the
+  // default largest tier is ~111x the largest Table 2 circuit; --huge adds
+  // chains-10x3 (~2.1M states), mostly as a bounded-memory soak of the
+  // sharded reachability arena.  --tier N measures exactly one tier — CI
+  // combines it with --smoke to touch the half-million-state tier without
+  // paying for the full ladder.
+  std::vector<int> tiers = smoke ? std::vector<int>{5, 6} : std::vector<int>{5, 6, 7, 8, 9};
+  if (huge && !smoke) tiers.push_back(10);
+  if (only_tier > 0) tiers = {only_tier};
 
-  std::printf("Scale bench: word-parallel kernels vs ordered references, jobs=1%s\n\n",
-              smoke ? " (smoke)" : "");
+  std::printf("Scale bench: word-parallel kernels vs ordered references, jobs=%d (host hw %d)%s\n\n",
+              jobs, hardware, smoke ? " (smoke)" : "");
   std::printf("%-12s %8s %8s  %19s %19s %19s %19s %8s\n", "tier", "states", "signals",
               "regions ref/fast", "coding ref/fast", "trigger ref/fast", "reach ref/fast",
               "combined");
@@ -293,7 +367,7 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   std::vector<TierTiming> timings;
   for (const int chains : tiers) {
-    const TierTiming t = measure_tier(chains, smoke);
+    const TierTiming t = measure_tier(chains, smoke, jobs);
     NSHOT_REQUIRE(t.identical, "fast kernels diverged from reference on " + t.name);
     all_identical &= t.identical;
     std::printf("%-12s %8d %8d  %8.1f/%8.1fms %8.1f/%8.1fms %8.1f/%8.1fms %8.1f/%8.1fms %7.2fx\n",
@@ -312,19 +386,23 @@ int main(int argc, char** argv) {
   {
     obs::Session session("bench_scale", "chains-" + std::to_string(tiers.back()) + "x3");
     const stg::Stg net = stg::parse_g(tier_g(tiers.back()));
-    const sg::StateGraph scale_g = stg::build_state_graph(net);
+    stg::ReachabilityOptions scale_options;
+    scale_options.max_states = 1u << 22;
+    scale_options.jobs = jobs;
+    const sg::StateGraph scale_g = stg::build_state_graph(net, scale_options);
     sg::check_implementability(scale_g);
-    sg::compute_all_regions(scale_g);
+    sg::compute_all_regions(scale_g, jobs);
     passes_fragment = obs::passes_json_fragment(session.report());
   }
 
   const TierTiming& largest = timings.back();
-  std::printf("\nlargest tier (%s, %d states): combined regions+coding+trigger %.2fx, "
-              "reachability %.2fx\n",
-              largest.name.c_str(), largest.states, largest.combined_speedup(),
-              largest.reachability_fast_ms > 0
-                  ? largest.reachability_reference_ms / largest.reachability_fast_ms
-                  : 0);
+  std::printf(
+      "\nlargest tier (%s, %d states): combined regions+coding+trigger %.2fx, "
+      "reachability %.2fx\n",
+      largest.name.c_str(), largest.states, largest.combined_speedup(),
+      largest.reachability_fast_ms > 0
+          ? largest.reachability_reference_ms / largest.reachability_fast_ms
+          : 0);
   // The acceptance floor this PR claims; smoke runs take one unwarmed
   // sample of shrunk workloads, which is a sanity check, not a measurement.
   if (!smoke)
@@ -332,14 +410,17 @@ int main(int argc, char** argv) {
                   "combined kernel speedup fell below the 3x floor at " + largest.name);
 
   std::ostringstream json;
-  json << "{\n  \"hardware_jobs\": " << hardware << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+  json << "{\n  \"hardware_jobs\": " << hardware << ",\n  \"jobs\": " << jobs
+       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
        << ",\n  \"byte_identical\": " << (all_identical ? "true" : "false")
        << ",\n  \"largest_tier_combined_speedup\": " << largest.combined_speedup()
        << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const TierTiming& t = timings[i];
     json << "    {\"name\": \"" << t.name << "\", \"states\": " << t.states
-         << ", \"signals\": " << t.signals << ", \"hardware_concurrency\": " << hardware
+         << ", \"signals\": " << t.signals << ", \"jobs\": " << t.jobs
+         << ", \"hardware_concurrency\": " << hardware
+         << ", \"identity\": \"" << (t.sampled_identity ? "sampled" : "full") << "\""
          << ", \"regions_reference_ms\": " << t.regions_reference_ms
          << ", \"regions_fast_ms\": " << t.regions_fast_ms
          << ", \"coding_reference_ms\": " << t.coding_reference_ms
@@ -351,8 +432,8 @@ int main(int argc, char** argv) {
          << ", \"combined_speedup\": " << t.combined_speedup() << "}"
          << (i + 1 < timings.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"observability\": {\"tier\": \"chains-" << tiers.back()
-       << "x3\", " << passes_fragment << "}\n}\n";
+  json << "  ],\n  \"observability\": {\"tier\": \"chains-" << tiers.back() << "x3\", "
+       << passes_fragment << "}\n}\n";
   std::ofstream(out_path) << json.str();
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -277,6 +277,15 @@ int resolve_grain(int grain, int n, int workers) {
 
 }  // namespace
 
+int batch_grain(int n, int jobs) {
+  if (n <= 1) return 1;
+  // Chunks beyond the physical thread count cannot add throughput — they
+  // only fragment the per-chunk state (a jobs=8 request on a 1-core host
+  // must still run one chunk with full 64-lane groups).
+  const int workers = std::max(1, std::min({resolve_jobs(jobs), hardware_jobs(), n}));
+  return (n + workers - 1) / workers;
+}
+
 void parallel_for_chunks(int n, int grain, const std::function<void(int, int)>& chunk,
                          int jobs) {
   if (n <= 0) return;

@@ -112,6 +112,15 @@ void parallel_for(int n, const std::function<void(int)>& body, int jobs = 0, int
 void parallel_for_chunks(int n, int grain, const std::function<void(int, int)>& chunk,
                          int jobs = 0);
 
+/// Grain for trial sweeps whose chunks carry heavy per-chunk state (a
+/// compiled simulator, a 64-lane TrialBatch): one chunk per worker,
+/// capped at the physical thread count — the automatic grain's
+/// 4 chunks/worker rebuilds that state 4x and leaves the 64-lane batch
+/// engine running quarter-full groups, and chunks beyond the hardware
+/// concurrency only fragment it further.  Chunk boundaries stay a
+/// scheduling detail (results merge by index).
+int batch_grain(int n, int jobs = 0);
+
 /// Map i -> fn(i) into a vector ordered by index.  T must be default
 /// constructible and movable.
 template <typename T, typename Fn>

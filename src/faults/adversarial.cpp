@@ -249,7 +249,7 @@ MonteCarloResult stressed_monte_carlo(const sg::StateGraph& spec,
   };
   std::vector<Trial> trials(static_cast<std::size_t>(std::max(runs, 0)));
   exec::parallel_for_chunks(
-      runs, options.grain,
+      runs, options.grain > 0 ? options.grain : exec::batch_grain(runs, options.jobs),
       [&](int begin, int end) {
         std::optional<sim::Simulator> reuse;
         std::optional<sim::TrialRunner> runner;

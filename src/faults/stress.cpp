@@ -65,7 +65,8 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
     const obs::Span margins_span("margins");
     std::vector<ProbedRun> probed(static_cast<std::size_t>(std::max(options.margin_runs, 0)));
     exec::parallel_for_chunks(
-        options.margin_runs, options.grain,
+        options.margin_runs,
+        options.grain > 0 ? options.grain : exec::batch_grain(options.margin_runs, options.jobs),
         [&](int begin, int end) {
           // Engine three-way: uncompiled reference kernels, the frozen
           // pre-batch compiled driver, or (default) the calendar-queue
@@ -169,7 +170,10 @@ StressReport run_stress(const sg::StateGraph& spec, const netlist::Netlist& circ
     obs::count(obs::Counter::kFaultsInjected, static_cast<long>(battery.size()));
     std::vector<FaultOutcome> outcomes(battery.size());
     exec::parallel_for_chunks(
-        static_cast<int>(battery.size()), options.grain,
+        static_cast<int>(battery.size()),
+        options.grain > 0
+            ? options.grain
+            : exec::batch_grain(static_cast<int>(battery.size()), options.jobs),
         [&](int begin, int end) {
           std::optional<sim::Simulator> reuse;
           std::optional<sim::TrialRunner> runner;

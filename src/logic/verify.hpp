@@ -20,7 +20,12 @@ struct VerifyResult {
 /// of the cover intersects the off-set of an output it feeds.  Evaluated
 /// bit-sliced (logic/bitslice.hpp): per-cube literal masks word-parallel
 /// against the packed minterm codes.
-VerifyResult verify_cover(const TwoLevelSpec& spec, const Cover& cover);
+///
+/// `jobs` (default 1 = serial) threads the per-output checks: each output's
+/// word-parallel sweep is an independent item of an exec::parallel_map and
+/// the first failure in OUTPUT order is returned, so the result is
+/// byte-identical to the serial early-exit loop at any worker count.
+VerifyResult verify_cover(const TwoLevelSpec& spec, const Cover& cover, int jobs = 1);
 
 /// Original minterm-at-a-time implementation of verify_cover, kept
 /// compiled in as the byte-equality oracle for the bit-sliced fast path.

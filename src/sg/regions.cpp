@@ -6,6 +6,7 @@
 #include <set>
 
 #include "exec/cancel.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "sg/bitset.hpp"
 #include "util/error.hpp"
@@ -32,14 +33,17 @@ class UnionFind {
   std::vector<std::size_t> parent_;
 };
 
-/// Tarjan SCC over a subgraph given by a node list and an adjacency lambda.
-/// Returns the SCCs in reverse topological order (bottom SCCs first is NOT
-/// guaranteed; we detect bottom SCCs explicitly afterwards).
+/// Tarjan SCC over a subgraph in CSR form: the neighbours of local node v
+/// are targets[offsets[v] .. offsets[v+1]).  CSR (two flat arrays) instead
+/// of vector-of-vectors matters at scale — a 65k-state excitation region
+/// would otherwise pay 65k inner-vector allocations before the first SCC
+/// is found.  Returns the SCCs in reverse topological order (bottom SCCs
+/// first is NOT guaranteed; we detect bottom SCCs explicitly afterwards).
 class SccFinder {
  public:
-  explicit SccFinder(const std::vector<std::vector<int>>& adjacency)
-      : adjacency_(adjacency) {
-    const std::size_t n = adjacency.size();
+  SccFinder(const std::vector<int>& offsets, const std::vector<int>& targets)
+      : offsets_(offsets), targets_(targets) {
+    const std::size_t n = offsets.empty() ? 0 : offsets.size() - 1;
     index_.assign(n, -1);
     low_.assign(n, 0);
     on_stack_.assign(n, false);
@@ -68,8 +72,10 @@ class SccFinder {
         on_stack_[v] = true;
       }
       bool descended = false;
-      while (frame.edge < adjacency_[v].size()) {
-        const std::size_t w = static_cast<std::size_t>(adjacency_[v][frame.edge++]);
+      const std::size_t degree = static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+      while (frame.edge < degree) {
+        const std::size_t w = static_cast<std::size_t>(
+            targets_[static_cast<std::size_t>(offsets_[v]) + frame.edge++]);
         if (index_[w] < 0) {
           call_stack.push_back({w});
           descended = true;
@@ -96,7 +102,8 @@ class SccFinder {
     }
   }
 
-  const std::vector<std::vector<int>>& adjacency_;
+  const std::vector<int>& offsets_;
+  const std::vector<int>& targets_;
   std::vector<int> index_, low_, component_;
   std::vector<bool> on_stack_;
   std::vector<std::size_t> stack_;
@@ -166,7 +173,17 @@ bool ExcitationRegion::single_traversal() const {
 
 namespace {
 
-SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool reference) {
+/// `planes` (optional) supplies prebuilt value/excitation planes for
+/// signal a — compute_all_regions builds every signal's planes in one
+/// shared sweep instead of two per-signal graph passes.  Plane content is
+/// identical either way, so the output is unchanged.
+struct SignalPlanes {
+  const StateSet* value = nullptr;
+  const StateSet* excited = nullptr;
+};
+
+SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool reference,
+                                   SignalPlanes planes = {}) {
   NSHOT_REQUIRE(a >= 0 && a < sg.num_signals(), "signal index out of range");
 
   SignalRegions result;
@@ -179,8 +196,8 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
   StateSet value(0), excited(0), quiescent_plane(0), in_region(0);
   std::vector<StateId> flood_frontier;
   if (!reference) {
-    value = value_set(sg, a);
-    excited = excited_set(sg, a);
+    value = planes.value ? *planes.value : value_set(sg, a);
+    excited = planes.excited ? *planes.excited : excited_set(sg, a);
     in_region = StateSet(n);
   }
   // Local-index scratch maps, allocated once and reset by touched entry so
@@ -224,9 +241,11 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
       }
     }
     // Group members into components by UF root, in ascending root order.
-    // The hot path sorts (root, index) pairs; the reference path groups
-    // through std::map.  A stable sort keeps members within a component in
-    // ascending index order, so both paths produce identical groups.
+    // The hot path counting-sorts over the dense root domain (roots are
+    // member indices, so root < members.size()); the reference path groups
+    // through std::map.  The scatter walks members in ascending index
+    // order, so components come out in ascending root order with members
+    // ascending within each — identical groups either way.
     std::vector<std::vector<StateId>> components;
     if (reference) {
       std::map<std::size_t, std::vector<StateId>> by_root;
@@ -234,16 +253,23 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
         by_root[uf.find(i)].push_back(members[i]);
       for (auto& [root, er_states] : by_root) components.push_back(std::move(er_states));
     } else {
-      std::vector<std::pair<std::size_t, std::size_t>> rooted(members.size());
-      for (std::size_t i = 0; i < members.size(); ++i) rooted[i] = {uf.find(i), i};
-      std::stable_sort(rooted.begin(), rooted.end(),
-                       [](const auto& x, const auto& y) { return x.first < y.first; });
-      for (std::size_t begin = 0; begin < rooted.size();) {
+      std::vector<std::size_t> root_of(members.size());
+      std::vector<std::size_t> offset(members.size() + 1, 0);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        root_of[i] = uf.find(i);
+        ++offset[root_of[i] + 1];
+      }
+      for (std::size_t r = 0; r < members.size(); ++r) offset[r + 1] += offset[r];
+      std::vector<std::size_t> ordered(members.size());
+      std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+      for (std::size_t i = 0; i < members.size(); ++i) ordered[cursor[root_of[i]]++] = i;
+      for (std::size_t begin = 0; begin < ordered.size();) {
+        const std::size_t root = root_of[ordered[begin]];
         std::size_t end = begin;
-        while (end < rooted.size() && rooted[end].first == rooted[begin].first) ++end;
+        while (end < ordered.size() && root_of[ordered[end]] == root) ++end;
         std::vector<StateId> er_states;
         er_states.reserve(end - begin);
-        for (std::size_t k = begin; k < end; ++k) er_states.push_back(members[rooted[k].second]);
+        for (std::size_t k = begin; k < end; ++k) er_states.push_back(members[ordered[k]]);
         components.push_back(std::move(er_states));
         begin = end;
       }
@@ -262,30 +288,42 @@ SignalRegions compute_regions_impl(const StateGraph& sg, SignalId a, bool refere
                                               in_region, flood_frontier);
 
       // Trigger regions: bottom SCCs of the subgraph of the ER induced by
-      // the arcs that do not fire *a.
+      // the arcs that do not fire *a.  The subgraph is built in CSR form
+      // (edge order per node unchanged) and only bottom SCCs are ever
+      // materialized: a chain-shaped ER shatters into one SCC per state,
+      // almost all non-bottom, and allocating a vector for each discarded
+      // component dominated this pass at the 500k-state tiers.
       for (std::size_t i = 0; i < er.states.size(); ++i)
         er_local[static_cast<std::size_t>(er.states[i])] = static_cast<int>(i);
-      std::vector<std::vector<int>> adjacency(er.states.size());
+      std::vector<int> offsets(er.states.size() + 1, 0);
+      std::vector<int> targets;
       for (std::size_t i = 0; i < er.states.size(); ++i) {
         for (const Edge& e : sg.out_edges(er.states[i])) {
           if (e.label.signal == a) continue;  // firing *a leaves the region
           const int t_local = er_local[static_cast<std::size_t>(e.target)];
-          if (t_local >= 0) adjacency[i].push_back(t_local);
+          if (t_local >= 0) targets.push_back(t_local);
         }
+        offsets[i + 1] = static_cast<int>(targets.size());
       }
-      SccFinder scc(adjacency);
+      SccFinder scc(offsets, targets);
       // A bottom SCC has no arc into a different SCC.
       std::vector<bool> is_bottom(static_cast<std::size_t>(scc.num_components()), true);
       for (std::size_t i = 0; i < er.states.size(); ++i)
-        for (const int j : adjacency[i])
-          if (scc.component_of(i) != scc.component_of(static_cast<std::size_t>(j)))
+        for (int k = offsets[i]; k < offsets[i + 1]; ++k)
+          if (scc.component_of(i) != scc.component_of(static_cast<std::size_t>(targets[k])))
             is_bottom[static_cast<std::size_t>(scc.component_of(i))] = false;
-      std::vector<std::vector<StateId>> triggers(
-          static_cast<std::size_t>(scc.num_components()));
-      for (std::size_t i = 0; i < er.states.size(); ++i)
-        triggers[static_cast<std::size_t>(scc.component_of(i))].push_back(er.states[i]);
-      for (std::size_t c = 0; c < triggers.size(); ++c)
-        if (is_bottom[c]) er.trigger_regions.push_back(std::move(triggers[c]));
+      // Bottom components keep their ascending component-id order, exactly
+      // the order the dense triggers table produced.
+      std::vector<int> slot(static_cast<std::size_t>(scc.num_components()), -1);
+      int num_bottom = 0;
+      for (std::size_t c = 0; c < is_bottom.size(); ++c)
+        if (is_bottom[c]) slot[c] = num_bottom++;
+      std::vector<std::vector<StateId>> triggers(static_cast<std::size_t>(num_bottom));
+      for (std::size_t i = 0; i < er.states.size(); ++i) {
+        const int s = slot[static_cast<std::size_t>(scc.component_of(i))];
+        if (s >= 0) triggers[static_cast<std::size_t>(s)].push_back(er.states[i]);
+      }
+      for (std::vector<StateId>& tr : triggers) er.trigger_regions.push_back(std::move(tr));
 
       for (const StateId s : er.states) er_local[static_cast<std::size_t>(s)] = -1;
       result.regions.push_back(std::move(er));
@@ -305,11 +343,30 @@ SignalRegions compute_regions_reference(const StateGraph& sg, SignalId a) {
   return compute_regions_impl(sg, a, /*reference=*/true);
 }
 
-std::vector<SignalRegions> compute_all_regions(const StateGraph& sg) {
+std::vector<SignalRegions> compute_all_regions(const StateGraph& sg, int jobs) {
   const obs::Span span("regions");
-  std::vector<SignalRegions> all;
-  for (const SignalId a : sg.noninput_signals()) all.push_back(compute_regions(sg, a));
-  return all;
+  // One shared plane sweep for every signal (word-range-chunked when
+  // jobs > 1) replaces the two per-signal graph passes compute_regions
+  // would make; plane content is identical, so the regions are too.
+  const std::vector<StateSet> values = all_value_sets(sg, jobs);
+  const std::vector<StateSet> excited = all_excited_sets(sg, jobs);
+  const std::vector<SignalId> signals = sg.noninput_signals();
+  auto regions_of = [&](int i) {
+    const SignalId a = signals[static_cast<std::size_t>(i)];
+    return compute_regions_impl(sg, a, /*reference=*/false,
+                                {&values[static_cast<std::size_t>(a)],
+                                 &excited[static_cast<std::size_t>(a)]});
+  };
+  if (jobs <= 1) {
+    std::vector<SignalRegions> all;
+    all.reserve(signals.size());
+    for (std::size_t i = 0; i < signals.size(); ++i)
+      all.push_back(regions_of(static_cast<int>(i)));
+    return all;
+  }
+  // Thread axis: one independent work item per signal, results merged by
+  // signal index — byte-identical to the serial loop at any worker count.
+  return exec::parallel_map<SignalRegions>(static_cast<int>(signals.size()), regions_of, jobs);
 }
 
 bool is_single_traversal(const StateGraph& sg) {

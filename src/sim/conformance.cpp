@@ -326,7 +326,8 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
   };
   std::vector<ConformanceReport> trials(static_cast<std::size_t>(std::max(options.runs, 0)));
   exec::parallel_for_chunks(
-      options.runs, options.grain,
+      options.runs,
+      options.grain > 0 ? options.grain : exec::batch_grain(options.runs, options.jobs),
       [&](int begin, int end) {
         // Chunk boundaries are a scheduling detail (they move with jobs /
         // grain), so the span is task-scoped: dropped from deterministic

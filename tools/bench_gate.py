@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Performance-regression gate over BENCH_kernels.json.
+"""Performance-regression gate over BENCH_kernels.json / BENCH_scale.json.
 
 Compares a freshly measured bench JSON against the committed one using
-the IN-RUN speedup ratios (reference/compiled, compiled/batched), never
-absolute milliseconds: both sides of each ratio were measured in the same
-process on the same machine, so the ratios transfer across hosts while
-wall-clock numbers do not.
+the IN-RUN speedup ratios (reference/compiled, compiled/batched,
+reference/word-parallel), never absolute milliseconds: both sides of each
+ratio were measured in the same process on the same machine, so the
+ratios transfer across hosts while wall-clock numbers do not.
 
 Checks, in order:
   1. the fresh run asserts byte_identical (all engines produced the same
      reports — the correctness gate the speedups are conditional on);
-  2. every speedup ratio present in both files must satisfy
-         fresh >= committed * (1 - tolerance).
+  2. every top-level speedup ratio present in both files must satisfy
+         fresh >= committed * (1 - tolerance);
+  3. every per-case ratio (cases matched by "name" — a smoke run measures
+     a subset of the committed tiers, unmatched cases are skipped) must
+     satisfy the same floor.
 
 Smoke runs (reps=1, shrunken workloads) are noisy, so CI passes a wide
 --tolerance; nightly full runs can tighten it.  Dependency-free on
@@ -32,7 +35,11 @@ RATIO_KEYS = (
     "conformance_batch_speedup",
     "stress_batch_speedup",
     "total_batch_speedup",
+    "largest_tier_combined_speedup",
 )
+
+# Ratios gated per case row (matched by "name" across the two files).
+CASE_RATIO_KEYS = ("combined_speedup",)
 
 
 def main():
@@ -71,6 +78,33 @@ def main():
                 f"{key}: fresh {got:.3f} below floor {want:.3f} "
                 f"(committed {committed[key]:.3f}, tolerance {args.tolerance:.0%})"
             )
+
+    committed_cases = {
+        case["name"]: case
+        for case in committed.get("cases", [])
+        if isinstance(case, dict) and "name" in case
+    }
+    for case in fresh.get("cases", []):
+        if not isinstance(case, dict) or case.get("name") not in committed_cases:
+            continue  # smoke runs measure a subset of the committed tiers
+        name = case["name"]
+        base = committed_cases[name]
+        for key in CASE_RATIO_KEYS:
+            if key not in base or key not in case:
+                continue
+            want = base[key] * (1.0 - args.tolerance)
+            got = case[key]
+            status = "ok" if got >= want else "REGRESSED"
+            label = f"{name}.{key}"
+            print(
+                f"{label:32s} committed {base[key]:6.3f}  fresh {got:6.3f}  "
+                f"floor {want:6.3f}  {status}"
+            )
+            if got < want:
+                failures.append(
+                    f"{label}: fresh {got:.3f} below floor {want:.3f} "
+                    f"(committed {base[key]:.3f}, tolerance {args.tolerance:.0%})"
+                )
 
     if failures:
         for line in failures:

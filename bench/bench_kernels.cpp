@@ -102,6 +102,16 @@ struct CaseTiming {
   double conf_reference_sd = 0, conf_compiled_sd = 0, conf_batched_sd = 0;
   double stress_reference_ms = 0, stress_compiled_ms = 0, stress_batched_ms = 0;
   double stress_reference_sd = 0, stress_compiled_sd = 0, stress_batched_sd = 0;
+  /// Committed transitions of the conformance sweep (external + internal)
+  /// — identical across legs by the byte-identity contract, so per-leg
+  /// events/sec ratios are exactly the inverse time ratios.  This is
+  /// committed-event throughput, not raw queue traffic (absorbed and
+  /// stale events are excluded); bench_queue_scaling records the raw
+  /// number on its open-loop workload.
+  long conf_events = 0;
+  double conf_events_per_sec(double ms) const {
+    return ms > 0 ? static_cast<double>(conf_events) / (ms / 1e3) : 0;
+  }
   bool identical = false;
 };
 
@@ -177,6 +187,7 @@ CaseTiming measure(const std::string& name, bool smoke) {
   timing.stress_compiled_sd = stress_fast_t.sd();
   timing.stress_batched_sd = stress_batch_t.sd();
 
+  timing.conf_events = conf_reference.external_transitions + conf_reference.internal_toggles;
   const std::string conf_fp = conformance_fingerprint(conf_reference);
   const std::string stress_fp = faults::stress_report_json(stress_reference);
   timing.identical = conf_fp == conformance_fingerprint(conf_compiled) &&
@@ -566,6 +577,13 @@ int main(int argc, char** argv) {
          << ", \"conformance_compiled_sd\": " << t.conf_compiled_sd
          << ", \"conformance_batched_ms\": " << t.conf_batched_ms
          << ", \"conformance_batched_sd\": " << t.conf_batched_sd
+         << ", \"conformance_events\": " << t.conf_events
+         << ", \"conformance_events_per_sec_reference\": "
+         << t.conf_events_per_sec(t.conf_reference_ms)
+         << ", \"conformance_events_per_sec_compiled\": "
+         << t.conf_events_per_sec(t.conf_compiled_ms)
+         << ", \"conformance_events_per_sec_batched\": "
+         << t.conf_events_per_sec(t.conf_batched_ms)
          << ", \"stress_reference_ms\": " << t.stress_reference_ms
          << ", \"stress_reference_sd\": " << t.stress_reference_sd
          << ", \"stress_compiled_ms\": " << t.stress_compiled_ms

@@ -119,7 +119,13 @@ void parallel_for_chunks(int n, int grain, const std::function<void(int, int)>& 
 /// engine running quarter-full groups, and chunks beyond the hardware
 /// concurrency only fragment it further.  Chunk boundaries stay a
 /// scheduling detail (results merge by index).
-int batch_grain(int n, int jobs = 0);
+///
+/// `lanes` > 1 rounds the grain up to whole lane groups so a chunked
+/// sweep feeding a lane-batched engine (TrialBatch::kLanes) never splits
+/// full groups across chunks: ceil-division alone can hand every worker
+/// a 48-trial chunk and quietly run the 64-lane engine at 75% occupancy
+/// on each one.
+int batch_grain(int n, int jobs = 0, int lanes = 1);
 
 /// Map i -> fn(i) into a vector ordered by index.  T must be default
 /// constructible and movable.

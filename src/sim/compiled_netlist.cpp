@@ -1,9 +1,12 @@
 #include "sim/compiled_netlist.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace nshot::sim {
 
+using gatelib::GateType;
 using netlist::GateId;
 using netlist::NetId;
 
@@ -32,22 +35,20 @@ CompiledNetlist::CompiledNetlist(const netlist::Netlist& netlist,
     for (const NetId in : netlist.gate(g).inputs)
       fanout_gate_[cursor[static_cast<std::size_t>(in)]++] = g;
 
-  // Packed gate descriptors over shared flat input arrays.
+  // Packed gate descriptors over the shared flat input-code array.
   gates_.reserve(num_gates);
-  input_net_.reserve(total_inputs);
-  input_inverted_.reserve(total_inputs);
+  input_code_.reserve(total_inputs);
   driver_.assign(num_nets, -1);
   for (GateId g = 0; g < netlist.num_gates(); ++g) {
     const netlist::Gate& gate = netlist.gate(g);
     CompiledGate packed;
     packed.type = gate.type;
     packed.feedback_cut = gate.feedback_cut;
-    packed.first_input = static_cast<std::uint32_t>(input_net_.size());
+    packed.first_input = static_cast<std::uint32_t>(input_code_.size());
     packed.num_inputs = static_cast<std::uint32_t>(gate.inputs.size());
-    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
-      input_net_.push_back(gate.inputs[i]);
-      input_inverted_.push_back(gate.input_inverted(i) ? 1 : 0);
-    }
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+      input_code_.push_back((static_cast<std::uint32_t>(gate.inputs[i]) << 1) |
+                            (gate.input_inverted(i) ? 1u : 0u));
     if (!gate.outputs.empty()) packed.out0 = gate.outputs[0];
     if (gate.outputs.size() > 1) packed.out1 = gate.outputs[1];
     for (const NetId out : gate.outputs) {
@@ -56,6 +57,43 @@ CompiledNetlist::CompiledNetlist(const netlist::Netlist& netlist,
       driver_[static_cast<std::size_t>(out)] = g;
     }
     gates_.push_back(packed);
+  }
+
+  // Fanout-of-1 chain links: a net whose only reader is a plain
+  // combinational gate (no feedback cut) is fused — the event that reader
+  // schedules can be held out of the queue by run_burst.  Everything else
+  // (fanout != 1, storage, MHS, inertial, delay lines, feedback cuts) is a
+  // boundary where events must enter the queue.
+  fused_reader_.assign(num_nets, -1);
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    if (fanout_offset_[n + 1] - fanout_offset_[n] != 1) continue;
+    const GateId reader = fanout_gate_[fanout_offset_[n]];
+    const CompiledGate& gate = gates_[static_cast<std::size_t>(reader)];
+    if (gate.feedback_cut) continue;
+    if (gate.type != GateType::kAnd && gate.type != GateType::kOr &&
+        gate.type != GateType::kInv && gate.type != GateType::kBuf)
+      continue;
+    fused_reader_[n] = reader;
+    ++num_fused_nets_;
+  }
+  // Chain statistics: follow fused links net -> reader.out0 -> ... until a
+  // boundary.  Links form a forest (single driver, single reader), so the
+  // walk from each chain head is linear overall.
+  std::vector<std::uint8_t> is_link_target(num_nets, 0);
+  for (std::size_t n = 0; n < num_nets; ++n)
+    if (fused_reader_[n] >= 0) {
+      const NetId out = gates_[static_cast<std::size_t>(fused_reader_[n])].out0;
+      if (out >= 0) is_link_target[static_cast<std::size_t>(out)] = 1;
+    }
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    if (fused_reader_[n] < 0 || is_link_target[n]) continue;  // not a chain head
+    int length = 0;
+    NetId cur = static_cast<NetId>(n);
+    while (cur >= 0 && fused_reader_[static_cast<std::size_t>(cur)] >= 0) {
+      ++length;
+      cur = gates_[static_cast<std::size_t>(fused_reader_[static_cast<std::size_t>(cur)])].out0;
+    }
+    longest_fused_chain_ = std::max(longest_fused_chain_, length);
   }
 }
 

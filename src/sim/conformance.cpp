@@ -325,9 +325,16 @@ ConformanceReport check_conformance(const sg::StateGraph& spec, const CompiledNe
     return config;
   };
   std::vector<ConformanceReport> trials(static_cast<std::size_t>(std::max(options.runs, 0)));
+  // The default engine groups trials 64 to a plane settle, so the grain
+  // must be a whole number of lane groups — otherwise every chunk runs
+  // partially-filled groups (the reference engines are per-trial and take
+  // the plain grain).
+  const bool lane_batched = !options.reference_kernels && !options.reference_driver;
   exec::parallel_for_chunks(
       options.runs,
-      options.grain > 0 ? options.grain : exec::batch_grain(options.runs, options.jobs),
+      options.grain > 0 ? options.grain
+                        : exec::batch_grain(options.runs, options.jobs,
+                                            lane_batched ? TrialBatch::kLanes : 1),
       [&](int begin, int end) {
         // Chunk boundaries are a scheduling detail (they move with jobs /
         // grain), so the span is task-scoped: dropped from deterministic

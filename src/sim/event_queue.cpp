@@ -76,13 +76,19 @@ void CalendarQueue::find_min() const {
 
 // Re-derive the day width from the inter-event gaps of up to 32 events
 // staged in scratch_ (Brown's rule: width tracks the average gap so
-// roughly one event lands per day).  Falls back to the current width
+// roughly one event lands per day).  scratch_ is sorted descending by the
+// time resize() runs this, so the tail holds the events nearest the
+// cursor — the ones about to be popped, whose spacing is the density the
+// day width must match.  Sampling from the front instead would let a few
+// far-future stragglers (a preloaded input schedule, say) inflate the
+// width until the entire near-term wave lands in one bucket and every
+// push pays a linear sorted insert.  Falls back to the current width
 // when there are too few distinct times to measure.
 double CalendarQueue::sampled_width() const {
   constexpr std::size_t kSamples = 32;
   double times[kSamples];
   const std::size_t n = std::min(kSamples, scratch_.size());
-  for (std::size_t i = 0; i < n; ++i) times[i] = scratch_[i].time;
+  for (std::size_t i = 0; i < n; ++i) times[i] = scratch_[scratch_.size() - n + i].time;
   if (n < 2) return width_;
   std::sort(times, times + n);
   double gap_sum = 0.0;
@@ -119,11 +125,13 @@ void CalendarQueue::resize(std::size_t new_buckets) {
   buckets_.resize(new_buckets);
   occupancy_.assign((new_buckets + 63) / 64, 0);
   summary_ = 0;
+  // Distribute in descending (time, seq) order so every bucket comes out
+  // sorted by construction (appends preserve the global order); the sort
+  // runs before the width sample so sampled_width() sees the near-term
+  // tail.
+  std::sort(scratch_.begin(), scratch_.end(), [](const Event& a, const Event& b) { return a > b; });
   width_ = sampled_width();
   inv_width_ = 1.0 / width_;
-  // Distribute in descending (time, seq) order so every bucket comes out
-  // sorted by construction (appends preserve the global order).
-  std::sort(scratch_.begin(), scratch_.end(), [](const Event& a, const Event& b) { return a > b; });
   for (const Event& e : scratch_) {
     const std::size_t b = index_of(day_of(e.time));
     if (buckets_[b].empty()) mark_occupied(b);
@@ -137,6 +145,12 @@ void CalendarQueue::resize(std::size_t new_buckets) {
 void EventQueue::clear() {
   heap_.clear();
   calendar_.clear();
+  // Adaptive state is per-trial: a fresh trial starts back on the heap
+  // with a zeroed migration count, so its engine trajectory depends only
+  // on the trial itself (the determinism contract clear() already keeps
+  // for the calendar geometry).
+  adaptive_on_calendar_ = false;
+  migrations_ = 0;
 }
 
 }  // namespace nshot::sim

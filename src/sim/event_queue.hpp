@@ -71,6 +71,16 @@ class BinaryHeapQueue {
   }
   void clear() { heap_.clear(); }
 
+  /// Hand every queued event to `fn` in UNSPECIFIED order and empty the
+  /// queue — the adaptive queue's migration path.  The receiving queue
+  /// re-establishes its own order, so pop order is unaffected (the
+  /// comparator is total).
+  template <typename Fn>
+  void consume_all(Fn&& fn) {
+    for (const Event& e : heap_) fn(e);
+    heap_.clear();
+  }
+
  private:
   std::vector<Event> heap_;
 };
@@ -156,6 +166,15 @@ class CalendarQueue {
     reset_geometry();
   }
 
+  /// Hand every queued event to `fn` in UNSPECIFIED order, then clear()
+  /// back to the default geometry — the adaptive queue's migration path.
+  template <typename Fn>
+  void consume_all(Fn&& fn) {
+    for (const std::vector<Event>& bucket : buckets_)
+      for (const Event& e : bucket) fn(e);
+    clear();
+  }
+
   /// Number of resize (re-bucketing) passes since construction/clear —
   /// exposed for the property tests; the obs counter aggregates the same
   /// quantity across trials.
@@ -228,39 +247,78 @@ class CalendarQueue {
   mutable bool min_valid_ = false;
 };
 
-enum class QueueKind : std::uint8_t { kBinaryHeap, kCalendar };
+enum class QueueKind : std::uint8_t { kBinaryHeap, kCalendar, kAdaptive };
 
-/// The simulator's queue: one of the two implementations above behind a
-/// branch (predictable; both members are cheap when empty).  The kind is
-/// fixed at construction — it is an engine choice, not per-trial state,
-/// so Simulator::reset never flips it.
+/// The simulator's queue: one of the implementations above behind a branch
+/// (predictable; all members are cheap when empty).  The kind is fixed at
+/// construction — it is an engine choice, not per-trial state, so
+/// Simulator::reset never flips it.
+///
+/// kAdaptive picks the engine by the live event population: a handful of
+/// pending events lives in the binary heap (two hot cache lines beat the
+/// calendar's day arithmetic at Table-2 scale — DESIGN §11), and when the
+/// population crosses kAdaptiveUp the whole queue migrates into the
+/// calendar, whose O(1) push/pop wins at the populations bench_queue_scaling
+/// measures.  Migration is order-safe by construction: the comparator is a
+/// TOTAL order on (time, seq), so any queue holding the same event set pops
+/// the same sequence — switching engines mid-trial cannot move a byte of
+/// any simulation artifact.  The down threshold leaves a wide hysteresis
+/// band so a population oscillating around the crossover does not thrash.
 class EventQueue {
  public:
+  /// Population at which the adaptive queue migrates heap -> calendar.
+  /// Chosen from the BENCH_queue_scaling ladder: the calendar's in-run
+  /// events/sec overtakes the heap's between the ~200 and ~800 pending
+  /// tiers on the reference container.
+  static constexpr std::size_t kAdaptiveUp = 256;
+  /// Population at which it migrates back (kAdaptiveUp / 8: re-migration
+  /// only pays once the population is unambiguously heap-scale again).
+  static constexpr std::size_t kAdaptiveDown = 32;
+
   explicit EventQueue(QueueKind kind = QueueKind::kBinaryHeap) : kind_(kind) {}
 
   QueueKind kind() const { return kind_; }
-  bool empty() const {
-    return kind_ == QueueKind::kCalendar ? calendar_.empty() : heap_.empty();
-  }
-  const Event& top() const {
-    return kind_ == QueueKind::kCalendar ? calendar_.top() : heap_.top();
-  }
+  bool empty() const { return on_calendar() ? calendar_.empty() : heap_.empty(); }
+  std::size_t size() const { return on_calendar() ? calendar_.size() : heap_.size(); }
+  const Event& top() const { return on_calendar() ? calendar_.top() : heap_.top(); }
   void push(const Event& e) {
-    if (kind_ == QueueKind::kCalendar)
+    if (on_calendar()) {
       calendar_.push(e);
-    else
-      heap_.push(e);
+      return;
+    }
+    heap_.push(e);
+    if (kind_ == QueueKind::kAdaptive && heap_.size() >= kAdaptiveUp) {
+      heap_.consume_all([this](const Event& ev) { calendar_.push(ev); });
+      adaptive_on_calendar_ = true;
+      ++migrations_;
+    }
   }
   void pop() {
-    if (kind_ == QueueKind::kCalendar)
-      calendar_.pop();
-    else
+    if (!on_calendar()) {
       heap_.pop();
+      return;
+    }
+    calendar_.pop();
+    if (kind_ == QueueKind::kAdaptive && calendar_.size() <= kAdaptiveDown) {
+      calendar_.consume_all([this](const Event& ev) { heap_.push(ev); });
+      adaptive_on_calendar_ = false;
+      ++migrations_;
+    }
   }
   void clear();
 
+  /// Engine migrations since construction/clear (kAdaptive only) — for the
+  /// property tests and the queue-scaling bench.
+  std::uint64_t migrations() const { return migrations_; }
+
  private:
+  bool on_calendar() const {
+    return kind_ == QueueKind::kCalendar || adaptive_on_calendar_;
+  }
+
   QueueKind kind_;
+  bool adaptive_on_calendar_ = false;
+  std::uint64_t migrations_ = 0;
   BinaryHeapQueue heap_;
   CalendarQueue calendar_;
 };

@@ -17,6 +17,7 @@ constexpr double kTimeEps = 1e-9;
 Simulator::Simulator(const CompiledNetlist& compiled, const SimulatorOptions& options,
                      QueueKind queue)
     : compiled_(&compiled), rng_(options.seed), events_(queue) {
+  build_hot_gates();
   reset(options);
 }
 
@@ -25,7 +26,22 @@ Simulator::Simulator(const netlist::Netlist& netlist, const gatelib::GateLibrary
     : compiled_(nullptr), owned_(std::make_unique<CompiledNetlist>(netlist, lib)),
       rng_(options.seed) {
   compiled_ = owned_.get();
+  build_hot_gates();
   reset(options);
+}
+
+// Copy the static fields of every gate into the hot records; reset()
+// refreshes only the per-trial delay.
+void Simulator::build_hot_gates() {
+  const std::size_t num_gates = static_cast<std::size_t>(compiled_->num_gates());
+  hot_.resize(num_gates);
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const CompiledGate& gate = compiled_->gate(static_cast<GateId>(g));
+    hot_[g].first_input = gate.first_input;
+    hot_[g].out0 = gate.out0;
+    hot_[g].type = gate.type;
+    hot_[g].num_inputs = static_cast<std::uint8_t>(gate.num_inputs);
+  }
 }
 
 void Simulator::reset(const SimulatorOptions& options) {
@@ -42,6 +58,8 @@ void Simulator::reset(const SimulatorOptions& options) {
   mhs_.assign(num_gates, MhsState{});
   inertial_.assign(num_gates, InertialState{});
   events_.clear();
+  hold_valid_ = false;
+  hold_open_ = false;
   next_seq_ = 0;
   events_processed_ = 0;
   budget_exhausted_ = false;
@@ -67,13 +85,17 @@ void Simulator::reset(const SimulatorOptions& options) {
     NSHOT_REQUIRE(delay >= 0.0, "delay override must be non-negative");
     gate_delay_[static_cast<std::size_t>(g)] = delay;
   }
+  for (std::size_t g = 0; g < num_gates; ++g) hot_[g].delay = gate_delay_[g];
 }
 
-bool Simulator::eval_combinational(const CompiledGate& gate) const {
-  const CompiledNetlist& cn = *compiled_;
+template <typename GateRec>
+bool Simulator::eval_combinational(const GateRec& gate) const {
+  // Packed input codes: net in the high bits, inversion in bit 0 — the
+  // inversion is an XOR on the 0/1 value byte, no second lookup, no branch.
+  const std::uint32_t* codes = compiled_->input_codes() + gate.first_input;
   auto in = [&](std::size_t i) {
-    const bool v = values_[static_cast<std::size_t>(cn.input(gate, i))] != 0;
-    return cn.input_inverted(gate, i) ? !v : v;
+    const std::uint32_t code = codes[i];
+    return (values_[code >> 1] ^ (code & 1u)) != 0;
   };
   switch (gate.type) {
     case GateType::kAnd: {
@@ -113,6 +135,9 @@ bool Simulator::eval_combinational(const CompiledGate& gate) const {
   }
   return false;
 }
+
+template bool Simulator::eval_combinational<CompiledGate>(const CompiledGate&) const;
+template bool Simulator::eval_combinational<HotGate>(const HotGate&) const;
 
 void Simulator::initialize(const std::vector<std::pair<NetId, bool>>& fixed_values) {
   NSHOT_REQUIRE(!initialized_, "initialize must be called exactly once");
@@ -210,7 +235,17 @@ void Simulator::schedule_net(NetId net, bool value, double time, std::uint32_t g
   if (forced_[static_cast<std::size_t>(net)]) return;
   if (generation == 0 && (projected_[static_cast<std::size_t>(net)] != 0) == value) return;
   projected_[static_cast<std::size_t>(net)] = value ? 1 : 0;
-  events_.push(Event{time, next_seq_++, net, generation, EventKind::kNetChange, value});
+  const Event event{time, next_seq_++, net, generation, EventKind::kNetChange, value};
+  if (hold_open_) {
+    // A fused chain link inside run_burst: park the event in the hold
+    // register instead of the queue.  Seq was assigned exactly as a push
+    // would have, so pop order is untouched whichever way it goes.
+    hold_ = event;
+    hold_valid_ = true;
+    hold_open_ = false;
+    return;
+  }
+  events_.push(event);
 }
 
 void Simulator::commit_net(NetId net, bool value, bool forced_commit) {
@@ -266,7 +301,7 @@ void Simulator::advance_time(double t) {
 }
 
 void Simulator::evaluate_gate(GateId g) {
-  const CompiledGate& gate = compiled_->gate(g);
+  const HotGate& gate = hot_[static_cast<std::size_t>(g)];
   switch (gate.type) {
     case GateType::kMhsFlipFlop:
       handle_mhs_input(g);
@@ -274,7 +309,7 @@ void Simulator::evaluate_gate(GateId g) {
     case GateType::kInertialDelay: {
       InertialState& st = inertial_[static_cast<std::size_t>(g)];
       const NetId out = gate.out0;
-      const bool v = values_[static_cast<std::size_t>(compiled_->input(gate, 0))] != 0;
+      const bool v = values_[compiled_->input_codes()[gate.first_input] >> 1] != 0;
       if (st.has_pending) {  // cancel the scheduled (conflicting) change
         ++st.generation;
         st.has_pending = false;
@@ -284,14 +319,14 @@ void Simulator::evaluate_gate(GateId g) {
         st.has_pending = true;
         st.pending_value = v;
         projected_[static_cast<std::size_t>(out)] = v ? 1 : 0;
-        events_.push(Event{now_ + gate_delay_[static_cast<std::size_t>(g)], next_seq_++, out,
+        events_.push(Event{now_ + gate.delay, next_seq_++, out,
                            st.generation + 1, EventKind::kNetChange, v});
       }
       return;
     }
     default: {
       const bool v = eval_combinational(gate);
-      schedule_net(gate.out0, v, now_ + gate_delay_[static_cast<std::size_t>(g)]);
+      schedule_net(gate.out0, v, now_ + gate.delay);
       return;
     }
   }
@@ -408,15 +443,35 @@ Simulator::BurstResult Simulator::run_burst(const int* net_signal, double time_l
                                             double bound, const NetObserver* pre_check,
                                             bool single) {
   NSHOT_REQUIRE(initialized_, "initialize the simulator before stepping");
+  // The hold register keeps fused chain links out of the queue: it is
+  // consumed inline only when it is the global (time, seq) minimum — the
+  // reference driver would push and immediately pop that exact event, so
+  // order, seq numbering and events_processed stay byte-identical.  Every
+  // exit path flushes it, so has_pending_events()/next_event_time() and
+  // the step() driver see the true pending set.
+  const auto flush_hold = [&] {
+    if (hold_valid_) {
+      events_.push(hold_);
+      hold_valid_ = false;
+    }
+  };
   while (true) {
-    if (events_.empty()) return {BurstStop::kQuiesced};
+    if (events_.empty() && !hold_valid_) return {BurstStop::kQuiesced};
     if (max_events_ != 0 && events_processed_ >= max_events_) {
       budget_exhausted_ = true;
+      flush_hold();
       return {BurstStop::kBudget};
     }
     ++events_processed_;
-    const Event event = events_.top();
-    events_.pop();
+    Event event;
+    if (hold_valid_ && (events_.empty() || !(hold_ > events_.top()))) {
+      event = hold_;  // the held chain link is next anyway: skip the queue
+      hold_valid_ = false;
+    } else {
+      flush_hold();  // an earlier queued event outranks the held link
+      event = events_.top();
+      events_.pop();
+    }
     now_ = event.time;
 
     if (event.kind == EventKind::kMhsProbe) {
@@ -439,14 +494,38 @@ Simulator::BurstResult Simulator::run_burst(const int* net_signal, double time_l
         values_[n] = event.value ? 1 : 0;
         ++toggles_[n];
         if (pre_check != nullptr) (*pre_check)(event.target, event.value, now_);
-        for (const GateId g : compiled_->fanout(event.target)) evaluate_gate(g);
-        if (net_signal[n] >= 0) return {BurstStop::kObservable, event.target, event.value};
+        const GateId fused = single ? -1 : compiled_->fused_reader(event.target);
+        if (fused >= 0) {
+          // Fanout-of-1 combinational link: divert its one scheduled
+          // event into the hold register.
+          hold_open_ = true;
+          evaluate_gate(fused);
+          hold_open_ = false;
+        } else {
+          for (const GateId g : compiled_->fanout(event.target)) evaluate_gate(g);
+        }
+        if (net_signal[n] >= 0) {
+          flush_hold();
+          return {BurstStop::kObservable, event.target, event.value};
+        }
       }
     }
-    if (single) return {BurstStop::kBound};
-    if (now_ >= time_limit) return {BurstStop::kTimeLimit};
-    if (events_.empty()) return {BurstStop::kQuiesced};
-    if (events_.top().time > bound) return {BurstStop::kBound};
+    if (single) {
+      flush_hold();
+      return {BurstStop::kBound};
+    }
+    if (now_ >= time_limit) {
+      flush_hold();
+      return {BurstStop::kTimeLimit};
+    }
+    if (events_.empty() && !hold_valid_) return {BurstStop::kQuiesced};
+    const double next_time =
+        hold_valid_ && (events_.empty() || !(hold_ > events_.top())) ? hold_.time
+                                                                     : events_.top().time;
+    if (next_time > bound) {
+      flush_hold();
+      return {BurstStop::kBound};
+    }
   }
 }
 

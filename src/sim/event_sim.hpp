@@ -20,10 +20,15 @@
 //    ignored while the output is already 1, reset pulses while it is 0.
 //
 // Trials run against a CompiledNetlist (sim/compiled_netlist.hpp): the
-// seed-independent setup — CSR fanout, packed gates, driver table, delay
-// bounds — is built once and shared, and `reset()` returns a simulator to
-// its freshly-constructed state without reallocating, so sweeps pay only
-// the per-seed work (delay sampling + the run itself) per trial.
+// seed-independent setup — CSR fanout, packed input codes, driver and
+// fused-reader tables, delay bounds — is built once and shared, and
+// `reset()` returns a simulator to its freshly-constructed state without
+// reallocating, so sweeps pay only the per-seed work (delay sampling + the
+// run itself) per trial.  The per-event walk reads HotGate records (the
+// trial's sampled delay moved into the gate record) and, inside
+// run_burst, walks fanout-of-1 combinational chains through a one-event
+// hold register instead of the queue — both proven byte-identical to the
+// reference driver by tests/sim_batch_equivalence_test.cpp.
 #pragma once
 
 #include <algorithm>
@@ -37,6 +42,19 @@
 #include "util/rng.hpp"
 
 namespace nshot::sim {
+
+/// Per-simulator hot gate record: the fields evaluate_gate touches per
+/// event, with the trial's sampled delay moved INTO the record — one cache
+/// line holds the whole commit→schedule step instead of an indirection
+/// into a separate delay table.  Static fields are copied from the
+/// CompiledNetlist at construction; reset() refreshes only the delay.
+struct HotGate {
+  double delay = 0.0;
+  std::uint32_t first_input = 0;
+  netlist::NetId out0 = -1;
+  gatelib::GateType type = gatelib::GateType::kBuf;
+  std::uint8_t num_inputs = 0;
+};
 
 struct SimulatorOptions {
   std::uint64_t seed = 1;
@@ -173,6 +191,9 @@ class Simulator {
   double now() const { return now_; }
   bool has_pending_events() const { return !events_.empty(); }
   double next_event_time() const;
+  /// Number of events currently queued (the fused chain register never
+  /// survives a run_burst return, so this is the whole pending set).
+  std::size_t pending_events() const { return events_.size(); }
 
   bool value(netlist::NetId net) const {
     return values_[static_cast<std::size_t>(net)] != 0;
@@ -216,10 +237,14 @@ class Simulator {
   };
 
   void arm_initial_storage();
+  void build_hot_gates();
   void schedule_net(netlist::NetId net, bool value, double time, std::uint32_t generation = 0);
   void commit_net(netlist::NetId net, bool value, bool forced_commit = false);
   void evaluate_gate(netlist::GateId g);
-  bool eval_combinational(const CompiledGate& gate) const;
+  /// One implementation evaluates both gate records: the cold CompiledGate
+  /// (initialize, release_net) and the per-trial HotGate (event walk).
+  template <typename GateRec>
+  bool eval_combinational(const GateRec& gate) const;
   void handle_mhs_input(netlist::GateId g);
   void handle_mhs_probe(netlist::GateId g, bool probing_set);
 
@@ -229,6 +254,7 @@ class Simulator {
   double omega_;                           // lib().mhs_threshold()
   double tau_;                             // lib().mhs_response()
   std::vector<double> gate_delay_;         // sampled per gate
+  std::vector<HotGate> hot_;               // delay-in-record gate descriptors
   std::vector<std::uint8_t> values_;       // committed net values
   std::vector<std::uint8_t> projected_;    // value after all pending events
   std::vector<std::uint8_t> forced_;       // nets pinned by force_net
@@ -236,6 +262,15 @@ class Simulator {
   std::vector<MhsState> mhs_;              // per gate (only MHS entries used)
   std::vector<InertialState> inertial_;    // per gate (only inertial entries used)
   EventQueue events_;
+  // Fused-chain hold register: run_burst keeps the single event a
+  // fanout-of-1 combinational link scheduled out of the queue and consumes
+  // it inline when it is the global (time, seq) minimum.  hold_open_ is
+  // set around the link's evaluate_gate call so schedule_net diverts the
+  // push here; every run_burst exit path flushes the register back into
+  // the queue, so it never outlives a burst.
+  Event hold_{};
+  bool hold_valid_ = false;
+  bool hold_open_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t max_events_ = 0;
   std::uint64_t events_processed_ = 0;

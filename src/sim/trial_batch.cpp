@@ -19,16 +19,20 @@ using netlist::NetId;
 // ---------------------------------------------------------------------------
 
 std::uint64_t BatchPlanes::input_plane(const CompiledGate& gate, std::size_t i) const {
-  const std::uint64_t v = value_[static_cast<std::size_t>(compiled_->input(gate, i))];
-  return compiled_->input_inverted(gate, i) ? ~v & lane_mask_ : v;
+  // Packed code: every plane is confined to lane_mask_, so the inversion
+  // bubble is an XOR with the mask (branchless), not a ~v & mask.
+  const std::uint32_t code = compiled_->input_code(gate, i);
+  const std::uint64_t v = value_[code >> 1];
+  return v ^ (lane_mask_ & (0 - static_cast<std::uint64_t>(code & 1u)));
 }
 
 namespace {
 std::uint64_t eval_plane(const BatchPlanes& planes, const CompiledNetlist& cn,
                          const CompiledGate& gate, std::uint64_t lane_mask) {
   auto in = [&](std::size_t i) {
-    const std::uint64_t v = planes.plane(cn.input(gate, i));
-    return cn.input_inverted(gate, i) ? ~v & lane_mask : v;
+    const std::uint32_t code = cn.input_code(gate, i);
+    const std::uint64_t v = planes.plane(static_cast<netlist::NetId>(code >> 1));
+    return v ^ (lane_mask & (0 - static_cast<std::uint64_t>(code & 1u)));
   };
   switch (gate.type) {
     case GateType::kAnd: {
@@ -172,7 +176,7 @@ std::uint64_t BatchPlanes::mhs_excitation(GateId g, bool set) const {
 // ---------------------------------------------------------------------------
 
 TrialRunner::TrialRunner(const CompiledNetlist& compiled)
-    : compiled_(&compiled), sim_(compiled, SimulatorOptions{}, QueueKind::kCalendar) {}
+    : compiled_(&compiled), sim_(compiled, SimulatorOptions{}, QueueKind::kAdaptive) {}
 
 const std::vector<std::uint8_t>& TrialRunner::settled(
     const std::vector<std::pair<NetId, bool>>& fixed, int lanes) {

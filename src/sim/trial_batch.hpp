@@ -18,8 +18,9 @@
 //    event order, so a lane stays in lockstep only while its entire
 //    config matches its group leader's (then it shares the leader's
 //    execution outright — one scalar run serves every such lane).
-//  * TrialRunner is that scalar path, rebuilt for throughput: a calendar-
-//    queue simulator (sim/event_queue.hpp) reused across trials, the
+//  * TrialRunner is that scalar path, rebuilt for throughput: an adaptive-
+//    queue simulator (sim/event_queue.hpp — heap at small populations,
+//    calendar past the measured crossover) reused across trials, the
 //    cached plane settle instead of a per-trial relaxation, and a commit
 //    log drained after each step instead of a std::function observer per
 //    commit.
@@ -88,7 +89,7 @@ class BatchPlanes {
 
 /// The batched engine's scalar lane: one closed-loop trial, byte-identical
 /// to run_closed_loop(spec, binding, compiled, config) on the reference
-/// driver, but executed on the calendar-queue simulator with the cached
+/// driver, but executed on the adaptive-queue simulator with the cached
 /// plane settle and the commit-log driver.  Reusable across trials — all
 /// arenas (queue buckets, planes, commit log, choice scratch) keep their
 /// capacity.

@@ -14,9 +14,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
+#include "gatelib/gate_library.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/compiled_netlist.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/event_sim.hpp"
 #include "util/rng.hpp"
 
 namespace nshot::sim {
@@ -233,6 +239,200 @@ TEST(CalendarQueueTest, ClearResetsGeometryForArenaReuse) {
     heap.pop();
   }
   EXPECT_TRUE(calendar.empty());
+}
+
+TEST(CalendarQueueTest, ThousandPendingBattleWithYearWrapAndResize) {
+  // Sustained 1k+ pending populations — the bench_queue_scaling regime —
+  // with ramp/drain cycles that cross the resize thresholds repeatedly
+  // and occasional far-future pushes that land outside the current year.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    BinaryHeapQueue heap;
+    CalendarQueue calendar;
+    std::uint64_t seq = 0;
+    double now = 0.0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      while (heap.size() < 1500) {
+        // Mostly near-term events with tiny gaps; 2% land a year-scale
+        // jump out, so find_min's fallback path runs mid-battle.
+        const double t = rng.next_bool(0.02) ? now + rng.next_double(1e5, 1e6)
+                                             : now + rng.next_double(0.0, 2.0);
+        const Event e = make_event(t, seq++);
+        heap.push(e);
+        calendar.push(e);
+      }
+      EXPECT_GT(calendar.num_buckets(), std::size_t{16}) << "seed " << seed;
+      while (heap.size() > 100) {
+        ASSERT_FALSE(calendar.empty());
+        const Event want = heap.top();
+        expect_same_event(calendar.top(), want);
+        now = want.time;
+        heap.pop();
+        calendar.pop();
+        // Keep churn alive during the drain, like a settling circuit.
+        if (rng.next_bool(0.3)) {
+          const Event e = make_event(now + rng.next_double(0.0, 5.0), seq++);
+          heap.push(e);
+          calendar.push(e);
+        }
+        ASSERT_EQ(heap.size(), calendar.size());
+      }
+    }
+    while (!heap.empty()) {
+      expect_same_event(calendar.top(), heap.top());
+      heap.pop();
+      calendar.pop();
+    }
+    EXPECT_TRUE(calendar.empty());
+  }
+}
+
+TEST(AdaptiveQueueTest, MigratesAtThresholdsAndPreservesPopOrder) {
+  // The adaptive engine starts on the heap, migrates to the calendar when
+  // the population crosses the up-threshold, and back when it drains past
+  // the down-threshold.  Every migration moves the full pending set, so
+  // the pop stream must stay the (time, seq) total order throughout.
+  Rng rng(23);
+  EventQueue adaptive(QueueKind::kAdaptive);
+  BinaryHeapQueue ref;
+  EXPECT_EQ(adaptive.kind(), QueueKind::kAdaptive);
+  std::uint64_t seq = 0;
+  double now = 0.0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    while (adaptive.size() < 600) {  // well past kAdaptiveUp = 256
+      const Event e = make_event(now + rng.next_double(0.0, 10.0), seq++);
+      adaptive.push(e);
+      ref.push(e);
+    }
+    while (adaptive.size() > 8) {  // well past kAdaptiveDown = 32
+      ASSERT_FALSE(ref.empty());
+      const Event want = ref.top();
+      expect_same_event(adaptive.top(), want);
+      now = want.time;
+      adaptive.pop();
+      ref.pop();
+    }
+  }
+  // Four ramp/drain cycles cross each threshold once per cycle.
+  EXPECT_GE(adaptive.migrations(), std::uint64_t{8});
+  while (!ref.empty()) {
+    expect_same_event(adaptive.top(), ref.top());
+    adaptive.pop();
+    ref.pop();
+  }
+  EXPECT_TRUE(adaptive.empty());
+}
+
+TEST(AdaptiveQueueTest, ClearResetsMigrationStateForTrialReuse) {
+  Rng rng(29);
+  EventQueue adaptive(QueueKind::kAdaptive);
+  for (std::uint64_t i = 0; i < 500; ++i)
+    adaptive.push(make_event(rng.next_double(0.0, 10.0), i));
+  EXPECT_GE(adaptive.migrations(), std::uint64_t{1});
+  adaptive.clear();
+  EXPECT_TRUE(adaptive.empty());
+  // A reused queue's engine trajectory depends only on this trial.
+  EXPECT_EQ(adaptive.migrations(), std::uint64_t{0});
+  adaptive.push(make_event(1.0, 0));
+  EXPECT_EQ(adaptive.migrations(), std::uint64_t{0});  // small again: back on the heap
+}
+
+/// Two unequal combinational chains from one input, converging on an AND
+/// and an OR: the inner chain links are fanout-of-1 (fused by the
+/// compiled walk), and the midpoint delay model makes chain commits
+/// collide on the same tick, so any FIFO violation in the fused hold
+/// register reorders the commit stream.
+netlist::Netlist converging_chains() {
+  netlist::Netlist nl("fifo-fusion");
+  const netlist::NetId a = nl.add_net("a");
+  nl.add_primary_input(a);
+  auto chain = [&nl](netlist::NetId from, gatelib::GateType type, int length,
+                     const std::string& prefix) {
+    netlist::NetId prev = from;
+    for (int i = 0; i < length; ++i) {
+      const netlist::NetId out = nl.add_net(prefix + std::to_string(i));
+      netlist::Gate g;
+      g.type = type;
+      g.name = prefix + "g" + std::to_string(i);
+      g.inputs = {prev};
+      g.outputs = {out};
+      nl.add_gate(std::move(g));
+      prev = out;
+    }
+    return prev;
+  };
+  const netlist::NetId left = chain(a, gatelib::GateType::kBuf, 3, "p");
+  const netlist::NetId right = chain(a, gatelib::GateType::kInv, 5, "q");
+  const netlist::NetId and_out = nl.add_net("and_out");
+  const netlist::NetId or_out = nl.add_net("or_out");
+  netlist::Gate and_gate;
+  and_gate.type = gatelib::GateType::kAnd;
+  and_gate.name = "and0";
+  and_gate.inputs = {left, right};
+  and_gate.outputs = {and_out};
+  nl.add_gate(std::move(and_gate));
+  netlist::Gate or_gate;
+  or_gate.type = gatelib::GateType::kOr;
+  or_gate.name = "or0";
+  or_gate.inputs = {left, right};
+  or_gate.outputs = {or_out};
+  nl.add_gate(std::move(or_gate));
+  nl.add_primary_output(and_out);
+  nl.add_primary_output(or_out);
+  nl.check_well_formed();
+  return nl;
+}
+
+TEST(FusedChainFifoTest, SameTickCommitsMatchTheStepDriver) {
+  const netlist::Netlist nl = converging_chains();
+  const CompiledNetlist compiled(nl, gatelib::GateLibrary::standard());
+  ASSERT_GT(compiled.num_fused_nets(), std::size_t{0});
+
+  SimulatorOptions options;
+  options.randomize_delays = false;  // midpoint delays: maximal tick collisions
+
+  const netlist::NetId a = *nl.find_net("a");
+  auto drive = [&](Simulator& simulator) {
+    simulator.initialize({{a, false}});
+    simulator.set_input(a, true, 1.0);
+    simulator.set_input(a, false, 50.0);
+    simulator.set_input(a, true, 50.0 + 1e-12);  // near-tie across external edges
+  };
+
+  // Reference: the unfused step() driver (step never engages the hold
+  // register), commit log in commit order.
+  Simulator reference(compiled, options);
+  std::vector<Simulator::Commit> reference_log;
+  reference.set_commit_log(&reference_log);
+  drive(reference);
+  while (reference.step()) {
+  }
+
+  // Fused: the run_burst walk on the same schedule, commits captured via
+  // the pre_check observer (run_burst's equivalent of the commit log).
+  Simulator fused(compiled, options);
+  std::vector<Simulator::Commit> fused_log;
+  const NetObserver capture = [&fused_log](netlist::NetId net, bool value, double) {
+    fused_log.push_back({net, value});
+  };
+  drive(fused);
+  const std::vector<int> no_observables(static_cast<std::size_t>(nl.num_nets()), -1);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  while (fused.run_burst(no_observables.data(), kInf, kInf, &capture).stop ==
+         Simulator::BurstStop::kObservable) {
+  }
+
+  ASSERT_EQ(fused_log.size(), reference_log.size());
+  for (std::size_t i = 0; i < reference_log.size(); ++i) {
+    EXPECT_EQ(fused_log[i].net, reference_log[i].net) << "commit " << i;
+    EXPECT_EQ(fused_log[i].value, reference_log[i].value) << "commit " << i;
+  }
+  EXPECT_EQ(fused.events_processed(), reference.events_processed());
+  EXPECT_EQ(fused.now(), reference.now());
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    EXPECT_EQ(fused.value(n), reference.value(n)) << "net " << nl.net_name(n);
+    EXPECT_EQ(fused.toggle_count(n), reference.toggle_count(n)) << "net " << nl.net_name(n);
+  }
 }
 
 TEST(CalendarQueueTest, EventQueueDispatchesByKind) {

@@ -102,6 +102,54 @@ TEST(ParallelReduceTest, MatchesSerialLeftFold) {
   }
 }
 
+TEST(BatchGrainTest, LaneRoundingKeepsGroupsWhole) {
+  // jobs=1 pins workers to 1, so the unrounded grain is exactly n and the
+  // lane-rounded grain is n lifted to the next multiple of `lanes`.
+  EXPECT_EQ(batch_grain(96, 1), 96);
+  EXPECT_EQ(batch_grain(96, 1, 64), 128);
+  EXPECT_EQ(batch_grain(64, 1, 64), 64);
+  EXPECT_EQ(batch_grain(1, 8, 64), 1);   // n <= 1 short-circuits
+  EXPECT_EQ(batch_grain(0, 8, 64), 1);
+  // Whatever the host's worker count, a lane-rounded grain is always a
+  // whole number of groups.
+  for (const int n : {2, 63, 64, 65, 96, 500, 4096}) {
+    for (const int jobs : {0, 1, 2, 8}) {
+      EXPECT_EQ(batch_grain(n, jobs, 64) % 64, 0) << "n=" << n << " jobs=" << jobs;
+      EXPECT_GE(batch_grain(n, jobs, 64), batch_grain(n, jobs)) << "n=" << n << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(BatchGrainTest, ChunksCarryFullLaneGroups) {
+  // The sweep shape check_conformance relies on: with a lane-rounded
+  // grain, every chunk parallel_for_chunks produces starts on a group
+  // boundary, so only the final partial group of the whole sweep (the
+  // tail of n itself) runs under-filled — a 64-lane TrialBatch inside any
+  // chunk always forms full groups otherwise.
+  constexpr int kLanes = 64;
+  for (const int n : {96, 129, 640}) {
+    for (const int jobs : {0, 2, 5}) {
+      const int grain = batch_grain(n, jobs, kLanes);
+      std::mutex mu;
+      std::vector<std::pair<int, int>> chunks;
+      parallel_for_chunks(
+          n, grain,
+          [&](int begin, int end) {
+            const std::lock_guard<std::mutex> lock(mu);
+            chunks.emplace_back(begin, end);
+          },
+          jobs);
+      int covered = 0;
+      for (const auto& [begin, end] : chunks) {
+        EXPECT_EQ(begin % kLanes, 0) << "n=" << n << " jobs=" << jobs;
+        if (end != n) EXPECT_EQ(end % kLanes, 0) << "n=" << n << " jobs=" << jobs;
+        covered += end - begin;
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " jobs=" << jobs;
+    }
+  }
+}
+
 TEST(JobsResolutionTest, ExplicitValueWinsOverDefault) {
   const int saved = default_jobs();
   set_default_jobs(3);

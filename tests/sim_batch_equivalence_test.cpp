@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_suite/generators.hpp"
+#include "netlist/transform.hpp"
 #include "nshot/synthesis.hpp"
 #include "sim/conformance.hpp"
 #include "sim/trial_batch.hpp"
@@ -178,6 +179,112 @@ TEST_P(SimBatchEquivalenceTest, FaultedConfigsMatchReference) {
     sim::VcdRecorder want_vcd(circuit);
     const sim::ConformanceReport want =
         sim::run_closed_loop(gen->graph, circuit, config, &want_vcd);
+    sim::VcdRecorder got_vcd(circuit);
+    const sim::ConformanceReport got = runner.run(gen->graph, binding, config, &got_vcd);
+    expect_same_report(got, want, label);
+    EXPECT_EQ(got_vcd.write(), want_vcd.write()) << "VCD witness diverged: " << label;
+  }
+}
+
+/// Re-route every combinational gate output through a `length`-stage
+/// BUF or INV ladder (alternating per gate; INV ladders keep even parity
+/// so values are preserved).  Every ladder net has exactly one reader, so
+/// the compiled netlist fuses the whole ladder into one chain — this is
+/// the circuit family that maximally exercises run_burst's hold register.
+/// The original output net keeps its name, so bindings and observables
+/// are untouched.
+netlist::Netlist with_ladders(const netlist::Netlist& source, int length) {
+  int counter = 0;
+  return netlist::transform_netlist(
+      source, [&](const netlist::Gate& gate, netlist::Netlist& out) -> std::optional<netlist::Gate> {
+        const bool simple = gate.type == gatelib::GateType::kAnd ||
+                            gate.type == gatelib::GateType::kOr ||
+                            gate.type == gatelib::GateType::kInv ||
+                            gate.type == gatelib::GateType::kBuf;
+        if (!simple || gate.feedback_cut || gate.outputs.size() != 1) return gate;
+        const std::string prefix = "lad" + std::to_string(counter) + "_";
+        const bool invert = (counter++ % 2) != 0;  // INV ladders need even length
+        const int stages = invert ? (length + 1) / 2 * 2 : length;
+        netlist::Gate head = gate;
+        netlist::NetId prev = out.add_net(prefix + "0");
+        head.outputs = {prev};
+        out.add_gate(std::move(head));
+        for (int i = 0; i < stages; ++i) {
+          const bool last = i + 1 == stages;
+          const netlist::NetId next =
+              last ? gate.outputs[0] : out.add_net(prefix + std::to_string(i + 1));
+          netlist::Gate link;
+          link.type = invert ? gatelib::GateType::kInv : gatelib::GateType::kBuf;
+          link.name = prefix + "g" + std::to_string(i);
+          link.inputs = {prev};
+          link.outputs = {next};
+          out.add_gate(std::move(link));
+          prev = next;
+        }
+        return std::nullopt;
+      });
+}
+
+TEST_P(SimBatchEquivalenceTest, ChainHeavyCircuitsMatchReference) {
+  const std::optional<Generated> gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "draw is not implementable";
+  // Long ladders on every combinational output: the fused-chain walk now
+  // carries most of the event traffic instead of the queue.
+  const netlist::Netlist circuit = with_ladders(gen->result.circuit, 6);
+  circuit.check_well_formed();
+  const sim::CompiledNetlist compiled(circuit, gatelib::GateLibrary::standard());
+  ASSERT_GE(compiled.longest_fused_chain(), std::size_t{6});
+  const sim::SpecBinding binding(gen->graph, circuit);
+  sim::TrialRunner runner(compiled);
+
+  const std::uint64_t base_seed = 0xcadeULL + static_cast<std::uint64_t>(GetParam());
+  for (int r = 0; r < 4; ++r) {
+    const sim::ClosedLoopConfig config = trial_config(base_seed, r);
+    const std::string label =
+        "laddered circuit " + std::to_string(GetParam()) + " trial " + std::to_string(r);
+    sim::VcdRecorder want_vcd(circuit);
+    const sim::ConformanceReport want = sim::run_closed_loop(gen->graph, circuit, config, &want_vcd);
+    sim::VcdRecorder got_vcd(circuit);
+    const sim::ConformanceReport got = runner.run(gen->graph, binding, config, &got_vcd);
+    expect_same_report(got, want, label);
+    EXPECT_EQ(got_vcd.write(), want_vcd.write()) << "VCD witness diverged: " << label;
+  }
+}
+
+TEST_P(SimBatchEquivalenceTest, FaultedChainHeavyCircuitsMatchReference) {
+  const std::optional<Generated> gen = generate(GetParam());
+  if (!gen) GTEST_SKIP() << "draw is not implementable";
+  const netlist::Netlist circuit = with_ladders(gen->result.circuit, 6);
+  const sim::CompiledNetlist compiled(circuit, gatelib::GateLibrary::standard());
+  const sim::SpecBinding binding(gen->graph, circuit);
+  sim::TrialRunner runner(compiled);
+
+  // Force/inject ON the ladder nets themselves: a forced mid-chain net
+  // pins a fused link, so the inline walk must agree with the reference
+  // about commits that never happen and about the release snap-back.
+  std::vector<netlist::NetId> ladder_nets;
+  for (netlist::NetId n = 0; n < circuit.num_nets() && ladder_nets.size() < 2; ++n)
+    if (circuit.net_name(n).compare(0, 3, "lad") == 0 && compiled.driver(n) >= 0)
+      ladder_nets.push_back(n);
+  if (ladder_nets.size() < 2) GTEST_SKIP() << "no ladder nets";
+
+  const std::uint64_t base_seed = 0xdeafULL + static_cast<std::uint64_t>(GetParam());
+  for (int r = 0; r < 3; ++r) {
+    sim::ClosedLoopConfig config = trial_config(base_seed, r);
+    config.forces.emplace_back(ladder_nets[0], (r % 2) != 0);
+    sim::TimedInjection hit;
+    hit.time = 4.0 + 0.5 * r;
+    hit.net = ladder_nets[1];
+    hit.value = (r % 2) == 0;
+    sim::TimedInjection drop = hit;
+    drop.time = hit.time + 0.25;
+    drop.release = true;
+    config.injections = {hit, drop};
+
+    const std::string label =
+        "laddered circuit " + std::to_string(GetParam()) + " faulted trial " + std::to_string(r);
+    sim::VcdRecorder want_vcd(circuit);
+    const sim::ConformanceReport want = sim::run_closed_loop(gen->graph, circuit, config, &want_vcd);
     sim::VcdRecorder got_vcd(circuit);
     const sim::ConformanceReport got = runner.run(gen->graph, binding, config, &got_vcd);
     expect_same_report(got, want, label);

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Performance-regression gate over BENCH_kernels.json / BENCH_scale.json.
+"""Performance-regression gate over BENCH_kernels.json / BENCH_scale.json /
+BENCH_queue_scaling.json.
 
 Compares a freshly measured bench JSON against the committed one using
 the IN-RUN speedup ratios (reference/compiled, compiled/batched,
@@ -39,7 +40,19 @@ RATIO_KEYS = (
 )
 
 # Ratios gated per case row (matched by "name" across the two files).
-CASE_RATIO_KEYS = ("combined_speedup",)
+# combined_speedup gates BENCH_scale tiers; calendar_over_heap and
+# adaptive_over_heap gate BENCH_queue_scaling tiers (heap_ms/engine_ms —
+# in-run ratios like everything else here).
+CASE_RATIO_KEYS = ("combined_speedup", "calendar_over_heap", "adaptive_over_heap")
+
+
+def case_rows(doc):
+    """Per-case rows of a bench JSON: BENCH_kernels/BENCH_scale keep them
+    under "cases", BENCH_queue_scaling under "tiers"."""
+    rows = []
+    for key in ("cases", "tiers"):
+        rows.extend(c for c in doc.get(key, []) if isinstance(c, dict) and "name" in c)
+    return rows
 
 
 def main():
@@ -79,13 +92,9 @@ def main():
                 f"(committed {committed[key]:.3f}, tolerance {args.tolerance:.0%})"
             )
 
-    committed_cases = {
-        case["name"]: case
-        for case in committed.get("cases", [])
-        if isinstance(case, dict) and "name" in case
-    }
-    for case in fresh.get("cases", []):
-        if not isinstance(case, dict) or case.get("name") not in committed_cases:
+    committed_cases = {case["name"]: case for case in case_rows(committed)}
+    for case in case_rows(fresh):
+        if case.get("name") not in committed_cases:
             continue  # smoke runs measure a subset of the committed tiers
         name = case["name"]
         base = committed_cases[name]

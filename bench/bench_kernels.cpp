@@ -2,7 +2,7 @@
 //
 // Every hot path of the kernel layer keeps its original implementation
 // compiled in behind a reference flag (ConformanceOptions::reference_kernels,
-// StressOptions::reference_kernels, ExactOptions::reference_sets,
+// StressOptions::reference_kernels, ExactOptions inherited reference_kernels,
 // ReachabilityOptions::reference_maps, compute_regions_reference).  For each
 // benchmark circuit this harness runs the Monte Carlo conformance sweep and
 // the full stress campaign once through the reference path and once through
@@ -250,9 +250,9 @@ KernelTiming measure_exact(bool smoke) {
   std::string reference_out, fast_out;
   MinTimer ref_t, fast_t;
   for (int i = 0; i < reps; ++i) {
-    options.reference_sets = true;
+    options.reference_kernels = true;
     ref_t.sample([&] { enumerate(reference_out); });
-    options.reference_sets = false;
+    options.reference_kernels = false;
     fast_t.sample([&] { enumerate(fast_out); });
   }
   timing.reference_ms = ref_t.best;
@@ -260,11 +260,11 @@ KernelTiming measure_exact(bool smoke) {
   timing.reference_sd = ref_t.sd();
   timing.fast_sd = fast_t.sd();
 
-  options.reference_sets = true;
+  options.reference_kernels = true;
   std::string reference_minimized;
   for (const logic::TwoLevelSpec& spec : inputs)
     reference_minimized += logic::exact_minimize(spec, options).to_string();
-  options.reference_sets = false;
+  options.reference_kernels = false;
   std::string fast_minimized;
   for (const logic::TwoLevelSpec& spec : inputs)
     fast_minimized += logic::exact_minimize(spec, options).to_string();

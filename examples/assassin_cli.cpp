@@ -8,13 +8,18 @@
 // Every option lives in kFlags below — one table row carries the name, the
 // value placeholder, the help line and the handler, and --help is generated
 // from the same table, so the parser and its documentation cannot drift.
+#include <atomic>
+#include <chrono>
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "baselines/baselines.hpp"
 #include "bench_suite/benchmarks.hpp"
@@ -25,6 +30,9 @@
 #include "netlist/verilog.hpp"
 #include "nshot/batch.hpp"
 #include "nshot/synthesis.hpp"
+#include "serve/file_queue.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
 #include "obs/obs.hpp"
 #include "sg/dot.hpp"
 #include "sg/properties.hpp"
@@ -56,6 +64,9 @@ struct Cli {
   std::uint64_t soak_seed = 1;
   double deadline_ms = 0, stage_deadline_ms = 0;
   bool verify_kernels = false, inject_kernel_fault = false;
+  // Serve mode (src/serve): socket or file-queue transport over a Server.
+  std::string serve_socket, serve_dir, serve_journal, connect_path;
+  int serve_max_inflight = 0, serve_queue = 256, serve_per_client = 2, serve_idle_exit = 0;
 };
 
 /// One command-line option: `metavar == nullptr` means a boolean flag, any
@@ -158,6 +169,28 @@ constexpr FlagSpec kFlags[] = {
      "TESTING: perturb compiled-kernel results so --verify-kernels trips and the "
      "fallback path is exercised",
      [](Cli& c, const char*) { c.inject_kernel_fault = true; }},
+    {"--serve", "SOCKET", "serve NDJSON synthesis requests on a Unix socket until SIGTERM",
+     [](Cli& c, const char* v) { c.serve_socket = v; }},
+    {"--serve-dir", "DIR",
+     "serve a file queue (CI mode): DIR/*.req.json in, DIR/*.resp.json out",
+     [](Cli& c, const char* v) { c.serve_dir = v; }},
+    {"--serve-journal", "FILE",
+     "serve journal (BatchRunner-compatible JSONL); journaled ids are answered as resumed",
+     [](Cli& c, const char* v) { c.serve_journal = v; }},
+    {"--serve-max-inflight", "N", "concurrent requests overall (default: half the pool)",
+     [](Cli& c, const char* v) {
+       c.serve_max_inflight = parse_int(v, 1, 4096, "--serve-max-inflight");
+     }},
+    {"--serve-per-client", "N", "concurrent requests per client (default 2)",
+     [](Cli& c, const char* v) { c.serve_per_client = parse_int(v, 1, 4096, "--serve-per-client"); }},
+    {"--serve-queue", "N", "admission backlog cap (default 256)",
+     [](Cli& c, const char* v) { c.serve_queue = parse_int(v, 1, 1'000'000, "--serve-queue"); }},
+    {"--serve-idle-exit", "N",
+     "file-queue mode: drain and exit after N consecutive empty scans (default: run forever)",
+     [](Cli& c, const char* v) { c.serve_idle_exit = parse_int(v, 1, 1'000'000, "--serve-idle-exit"); }},
+    {"--connect", "SOCKET",
+     "client mode: pipe NDJSON request lines from stdin to a --serve socket, print responses",
+     [](Cli& c, const char* v) { c.connect_path = v; }},
     {"--trace", "FILE", "write a Chrome trace_event JSON of the run to FILE",
      [](Cli& c, const char* v) { c.trace_file = v; }},
     {"--report", "FILE", "write a flat run report JSON (passes, counters, RSS) to FILE",
@@ -220,6 +253,80 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+/// `--serve SOCKET` / `--serve-dir DIR`: run the batch server until
+/// SIGTERM/SIGINT (or, in file-queue mode, until --serve-idle-exit empty
+/// scans), then drain gracefully and print the ServeStats JSON.
+int run_serve(const Cli& cli) {
+  serve::ServeOptions sopt;
+  sopt.pipeline.run.deadline_ms = cli.deadline_ms;
+  sopt.pipeline.run.stage_deadline_ms = cli.stage_deadline_ms;
+  sopt.pipeline.run.verify_kernels = cli.verify_kernels;
+  sopt.pipeline.run.jobs = cli.jobs;
+  sopt.pipeline.conformance.runs = cli.check_runs;
+  sopt.pipeline.synthesis.exact = cli.exact;
+  sopt.pipeline.stress_test = cli.stress;
+  sopt.pipeline.stress.margin_runs = cli.stress_runs;
+  sopt.admission.max_inflight = cli.serve_max_inflight;
+  sopt.admission.per_client_inflight = cli.serve_per_client;
+  sopt.admission.max_queue = cli.serve_queue;
+  sopt.journal_path = cli.serve_journal;
+  serve::Server server(sopt);
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  if (!cli.serve_dir.empty()) {
+    serve::FileQueueOptions fq;
+    fq.dir = cli.serve_dir;
+    fq.idle_exit_scans = cli.serve_idle_exit;
+    serve::FileQueueWorker worker(fq, server);
+    std::fprintf(stderr, "serving file queue %s\n", cli.serve_dir.c_str());
+    worker.run(g_stop);  // drains on exit
+  } else {
+    serve::SocketListener listener(cli.serve_socket, server);
+    std::fprintf(stderr, "serving on %s\n", cli.serve_socket.c_str());
+    while (!g_stop.load()) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.stop();
+    server.drain();
+  }
+
+  const serve::ServeStats stats = server.stats();
+  std::fprintf(stderr,
+               "serve: %ld accepted, %ld completed (%ld failed), %ld rejected, %ld resumed\n",
+               stats.accepted, stats.completed, stats.failed, stats.rejected, stats.resumed);
+  if (!cli.trace_file.empty()) write_file(cli.trace_file, server.trace_json());
+  if (!cli.report_file.empty()) write_file(cli.report_file, server.report_json());
+  std::printf("%s\n", stats.to_json().c_str());
+  return 0;
+}
+
+/// `--connect SOCKET`: pipeline every stdin request line to the server,
+/// then print one response line per request.  Responses arrive in
+/// completion order; match them to requests by "id".
+int run_connect(const Cli& cli) {
+  serve::SocketClient client(cli.connect_path);
+  int sent = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    client.send_line(line);
+    ++sent;
+  }
+  for (int i = 0; i < sent; ++i) {
+    const std::string response = client.recv_line();
+    if (response.empty()) {
+      std::fprintf(stderr, "error: server closed the connection (%d of %d responses)\n", i, sent);
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,6 +348,23 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cli.inject_kernel_fault) sim::testing::set_kernel_fault_injection(true);
+
+  if (!cli.serve_socket.empty() || !cli.serve_dir.empty()) {
+    try {
+      return run_serve(cli);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (!cli.connect_path.empty()) {
+    try {
+      return run_connect(cli);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (!cli.batch_file.empty() || cli.soak > 0) {
     try {

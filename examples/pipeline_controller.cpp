@@ -44,7 +44,20 @@ int main(int argc, char** argv) try {
   options.conformance.runs = runs;
   options.conformance.max_transitions = 60 * width;
   Pipeline pipeline(std::move(options));
-  const PipelineRun run = pipeline.run_g(g_text);
+
+  // The unified request surface: inline .g text plus the request id that
+  // names the run in reports — the same Request shape a serve client
+  // would put on the wire.
+  Request request;
+  request.id = "pipeline-controller";
+  request.g_text = g_text;
+  const Response response = pipeline.submit(request);
+  if (!response.outcome.ok()) {
+    std::fprintf(stderr, "pipeline failed at stage %s: %s\n",
+                 response.outcome.stage.c_str(), response.outcome.message.c_str());
+    return 1;
+  }
+  const PipelineRun& run = *response.outcome.run;
 
   std::printf("pipeline controller: width %d, chain length %d -> %d states, %d signals\n",
               width, chain_length, run.graph.num_states(), run.graph.num_signals());

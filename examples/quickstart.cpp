@@ -44,7 +44,19 @@ int main() {
   options.conformance.runs = 20;
   options.conformance.max_transitions = 150;
   Pipeline pipeline(std::move(options));
-  const PipelineRun run = pipeline.run(cell);
+
+  // One Request is the whole unit of work: the submit() surface the batch
+  // runner and the serve protocol use, here with an in-memory graph.
+  Request request;
+  request.id = "fig1";
+  request.graph = std::make_shared<sg::StateGraph>(cell);
+  const Response response = pipeline.submit(request);
+  if (!response.outcome.ok()) {
+    std::fprintf(stderr, "pipeline failed at stage %s: %s\n",
+                 response.outcome.stage.c_str(), response.outcome.message.c_str());
+    return 1;
+  }
+  const PipelineRun& run = *response.outcome.run;
 
   std::printf("\n%s", core::describe(cell, run.synthesis).c_str());
   std::printf("\nminimized joint set/reset cover (rows: input literals | outputs):\n%s",

@@ -216,12 +216,12 @@ std::optional<std::vector<Cube>> generate_primes(const TwoLevelSpec& spec, int o
   // afterwards reproduces the (lo, hi) iteration order the ordered
   // reference sets give for free, so both paths emit identical primes.
   std::optional<std::vector<CubeKey>> keys =
-      options.use_reference_sets()
+      options.reference_kernels
           ? enumerate_prime_keys<std::set<CubeKey>, false>(spec, o, options.max_primes)
           : enumerate_prime_keys<std::unordered_set<CubeKey, CubeKeyHash>, true>(
                 spec, o, options.max_primes);
   if (!keys) return std::nullopt;
-  if (!options.use_reference_sets()) std::sort(keys->begin(), keys->end());
+  if (!options.reference_kernels) std::sort(keys->begin(), keys->end());
 
   std::vector<Cube> primes;
   primes.reserve(keys->size());

@@ -26,14 +26,11 @@ struct ExactOptions : RunConfig {
   std::size_t max_primes = 20000;
   /// Abort the covering search after this many branch-and-bound nodes.
   std::size_t max_nodes = 200000;
-  /// Deprecated alias for the inherited RunConfig::reference_kernels:
-  /// enumerate prime keys through ordered std::set instead of the hashed
-  /// hot path — for kernel equivalence tests and benchmarking only.  Both
-  /// paths emit the primes in the same sorted (lo, hi) order.  Either
-  /// spelling switches to the reference path.
-  bool reference_sets = false;
-
-  bool use_reference_sets() const { return reference_sets || reference_kernels; }
+  // The inherited RunConfig::reference_kernels enumerates prime keys
+  // through ordered std::set instead of the hashed hot path — for kernel
+  // equivalence tests and benchmarking only.  Both paths emit the primes
+  // in the same sorted (lo, hi) order.  (The pre-RunConfig
+  // `reference_sets` alias shipped one release of warnings and is gone.)
 };
 
 /// All prime implicants of output `o` of `spec` (maximal cubes disjoint

@@ -2,14 +2,11 @@
 
 #include <chrono>
 #include <fstream>
-#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
 
-#include "bench_suite/benchmarks.hpp"
-#include "bench_suite/generators.hpp"
-#include "stg/sg_format.hpp"
+#include "nshot/journal.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -18,125 +15,8 @@ namespace nshot {
 
 namespace {
 
-const std::set<std::string>& known_params() {
-  static const std::set<std::string> keys = {
-      "seed",        "jobs",     "grain",           "runs",
-      "deadline_ms", "stage_deadline_ms", "verify_kernels", "reference_kernels",
-      "stress",      "exact"};
-  return keys;
-}
-
-bool parse_flag(const std::string& value) { return !value.empty() && value != "0"; }
-
-/// Per-run pipeline options: the batch base with this entry's manifest
-/// keys applied.  Values were syntax-checked by parse_manifest; range
-/// errors here still name the run via the caller's context frame.
-PipelineOptions entry_options(const PipelineOptions& base, const BatchEntry& entry) {
-  PipelineOptions options = base;
-  options.collect_observability = false;  // one session per batch run is pure overhead
-  options.label = entry.id;
-  for (const auto& [key, value] : entry.params) {
-    if (key == "seed")
-      options.run.seed = static_cast<std::uint64_t>(
-          parse_long(value, 0, std::numeric_limits<long>::max(), "seed"));
-    else if (key == "jobs")
-      options.run.jobs = parse_int(value, 0, 4096, "jobs");
-    else if (key == "grain")
-      options.run.grain = parse_int(value, 0, 1'000'000, "grain");
-    else if (key == "runs")
-      options.conformance.runs = parse_int(value, 0, 1'000'000, "runs");
-    else if (key == "deadline_ms")
-      options.run.deadline_ms = parse_double(value, 0, 1e9, "deadline_ms");
-    else if (key == "stage_deadline_ms")
-      options.run.stage_deadline_ms = parse_double(value, 0, 1e9, "stage_deadline_ms");
-    else if (key == "verify_kernels")
-      options.run.verify_kernels = parse_flag(value);
-    else if (key == "reference_kernels")
-      options.run.reference_kernels = parse_flag(value);
-    else if (key == "stress")
-      options.stress_test = parse_flag(value);
-    else if (key == "exact")
-      options.synthesis.exact = parse_flag(value);
-  }
-  return options;
-}
-
-/// One attempt at one manifest entry, never throwing: spec resolution
-/// failures (unknown benchmark, unreadable file, bad seed) are classified
-/// exactly like pipeline failures.
-RunOutcome attempt_entry(const BatchEntry& entry, const PipelineOptions& options) {
-  try {
-    return with_error_context("batch run " + entry.id, [&]() -> RunOutcome {
-      Pipeline pipeline(options);
-      if (starts_with(entry.spec, "bench:")) {
-        return pipeline.run_checked(bench_suite::build_benchmark(entry.spec.substr(6)));
-      }
-      if (starts_with(entry.spec, "gen:")) {
-        bench_suite::RandomStgOptions gen;
-        gen.seed = static_cast<std::uint64_t>(
-            parse_long(entry.spec.substr(4), 0, std::numeric_limits<long>::max(), "gen seed"));
-        return pipeline.run_checked_g(bench_suite::random_semimodular_g(gen));
-      }
-      const std::string path = entry.spec.substr(5);  // "file:"
-      std::ifstream stream(path);
-      NSHOT_REQUIRE(static_cast<bool>(stream), "cannot open " + path);
-      std::stringstream buffer;
-      buffer << stream.rdbuf();
-      const bool is_sg = path.size() >= 3 && path.compare(path.size() - 3, 3, ".sg") == 0;
-      if (is_sg) return pipeline.run_checked(stg::parse_sg(buffer.str()));
-      return pipeline.run_checked_g(buffer.str());
-    });
-  } catch (const Error& e) {
-    RunOutcome out;
-    out.code = e.code();
-    out.stage = "load";
-    out.message = e.what();
-    return out;
-  } catch (const std::exception& e) {
-    RunOutcome out;
-    out.code = classify_exception(e);
-    out.stage = "load";
-    out.message = e.what();
-    return out;
-  }
-}
-
 bool transient(ErrorCode code) {
   return code == ErrorCode::kResourceExhausted || code == ErrorCode::kDeadlineExceeded;
-}
-
-/// Journal line for a terminal result.  One complete JSON object per
-/// line; resume treats a line without the closing brace (a mid-write
-/// crash) as absent.
-std::string journal_line(const BatchRunResult& result) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("id").value(result.id);
-  json.key("status").value(result.ok ? "ok" : "failed");
-  if (!result.ok) {
-    json.key("code").value(error_code_name(result.code));
-    json.key("stage").value(result.stage);
-    json.key("message").value(result.message);
-  }
-  json.key("attempts").value(result.attempts);
-  json.key("elapsed_ms").value(result.elapsed_ms);
-  if (result.kernel_fallbacks > 0) json.key("kernel_fallbacks").value(result.kernel_fallbacks);
-  json.end_object();
-  return json.str();
-}
-
-/// Extract `"key":"value"` from a journal line without a JSON parser
-/// (this repository only writes JSON).  Journal values we read back (id,
-/// status, code) never contain escapes we generate, so a plain scan up to
-/// the closing quote is exact for our own output.
-std::string journal_field(const std::string& line, const std::string& key) {
-  const std::string needle = "\"" + key + "\":\"";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return "";
-  const std::size_t begin = at + needle.size();
-  const std::size_t end = line.find('"', begin);
-  if (end == std::string::npos) return "";
-  return line.substr(begin, end - begin);
 }
 
 }  // namespace
@@ -169,7 +49,8 @@ std::vector<BatchEntry> BatchRunner::parse_manifest(const std::string& text) {
       NSHOT_REQUIRE(eq != std::string::npos && eq > 0,
                     where + ": expected key=value, got '" + tokens[i] + "'");
       const std::string key = tokens[i].substr(0, eq);
-      NSHOT_REQUIRE(known_params().count(key) != 0, where + ": unknown key '" + key + "'");
+      NSHOT_REQUIRE(Request::known_override_keys().count(key) != 0,
+                    where + ": unknown key '" + key + "'");
       entry.params[key] = tokens[i].substr(eq + 1);
     }
     entries.push_back(std::move(entry));
@@ -189,22 +70,21 @@ std::string BatchRunner::soak_manifest(int count, std::uint64_t base_seed,
   return out.str();
 }
 
+Request BatchRunner::entry_request(const BatchEntry& entry) {
+  Request request;
+  request.id = entry.id;
+  request.spec = entry.spec;
+  request.overrides = entry.params;
+  return request;
+}
+
 BatchSummary BatchRunner::run(const std::vector<BatchEntry>& entries) {
   BatchSummary summary;
   summary.total = static_cast<int>(entries.size());
 
   // Resume: a journal line is terminal only when complete (closing brace
   // survived the crash) and carries a status for a known id.
-  std::map<std::string, std::string> journaled;  // id -> "ok" | "failed" line
-  if (!options_.journal_path.empty()) {
-    std::ifstream journal(options_.journal_path);
-    std::string line;
-    while (journal && std::getline(journal, line)) {
-      if (line.empty() || line.back() != '}') continue;  // truncated tail
-      const std::string id = journal_field(line, "id");
-      if (!id.empty() && !journal_field(line, "status").empty()) journaled[id] = line;
-    }
-  }
+  const std::map<std::string, std::string> journaled = read_journal(options_.journal_path);
 
   std::ofstream journal_out;
   if (!options_.journal_path.empty()) {
@@ -213,18 +93,16 @@ BatchSummary BatchRunner::run(const std::vector<BatchEntry>& entries) {
                   "cannot open batch journal " + options_.journal_path);
   }
 
-  for (const BatchEntry& entry : entries) {
-    BatchRunResult result;
-    result.id = entry.id;
+  // One Pipeline for the whole batch: submit() layers each entry's
+  // overrides per call, so per-run Pipelines would only add session and
+  // fan-out overhead.  Batch runs never own an obs session.
+  PipelineOptions base = options_.pipeline;
+  base.collect_observability = false;
+  Pipeline pipeline(base);
 
+  for (const BatchEntry& entry : entries) {
     if (const auto it = journaled.find(entry.id); it != journaled.end()) {
-      result.resumed = true;
-      result.ok = journal_field(it->second, "status") == "ok";
-      if (!result.ok) {
-        result.code = error_code_from_name(journal_field(it->second, "code"));
-        result.stage = journal_field(it->second, "stage");
-        result.message = journal_field(it->second, "message");
-      }
+      BatchRunResult result = journal_result(entry.id, it->second);
       ++summary.resumed;
       (result.ok ? summary.succeeded : summary.failed) += 1;
       if (!result.ok) ++summary.failures_by_code[error_code_name(result.code)];
@@ -237,29 +115,27 @@ BatchSummary BatchRunner::run(const std::vector<BatchEntry>& entries) {
       break;
     }
 
-    const PipelineOptions options = entry_options(options_.pipeline, entry);
+    const Request request = entry_request(entry);
     const auto t0 = std::chrono::steady_clock::now();
-    RunOutcome outcome;
+    Response response;
+    int attempts = 0;
     for (int attempt = 1;; ++attempt) {
-      outcome = attempt_entry(entry, options);
-      result.attempts = attempt;
-      if (outcome.ok() || !transient(outcome.code) || attempt > options_.max_retries) break;
+      response = pipeline.submit(request);
+      attempts = attempt;
+      if (response.outcome.ok() || !transient(response.outcome.code) ||
+          attempt > options_.max_retries)
+        break;
       ++summary.retries;
       if (options_.backoff_ms > 0)
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(options_.backoff_ms * attempt));
     }
+    BatchRunResult result = batch_result(response);
+    result.attempts = attempts;
     result.elapsed_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
-    result.ok = outcome.ok();
-    if (result.ok) {
-      result.kernel_fallbacks = static_cast<int>(outcome.run->kernel_fallbacks.size());
-    } else {
-      result.code = outcome.code;
-      result.stage = outcome.stage;
-      result.message = outcome.message;
-    }
+    if (options_.record_payloads) result.payload = response.payload_json();
     ++summary.executed;
     (result.ok ? summary.succeeded : summary.failed) += 1;
     if (!result.ok) ++summary.failures_by_code[error_code_name(result.code)];

@@ -2,9 +2,10 @@
 // facade.
 //
 // A batch is a text manifest of independent runs (one per line); the
-// runner executes them sequentially through Pipeline::run_checked, so
-// every failure comes back classified (ErrorCode + failing stage +
-// context chain) instead of aborting the batch.  Robustness machinery:
+// runner executes them sequentially through Pipeline::submit — each
+// manifest entry IS a nshot::Request (see entry_request) — so every
+// failure comes back classified (ErrorCode + failing stage + context
+// chain) instead of aborting the batch.  Robustness machinery:
 //
 //  * per-run error isolation — a run that fails, times out, or is
 //    rejected as unimplementable is recorded and the batch continues;
@@ -54,6 +55,10 @@ struct BatchOptions {
   /// a crash mid-batch; the CI resume smoke uses it to assert that a
   /// second invocation skips exactly the journaled prefix.
   int stop_after = 0;
+  /// Keep each executed run's deterministic Response::payload_json() in
+  /// BatchRunResult::payload — the serial reference the serve load-replay
+  /// harness compares concurrent server payloads against, byte for byte.
+  bool record_payloads = false;
 };
 
 /// One parsed manifest line.
@@ -75,6 +80,7 @@ struct BatchRunResult {
   int attempts = 0;   // executed attempts this invocation (0 when resumed)
   double elapsed_ms = 0.0;
   int kernel_fallbacks = 0;  // stages degraded to reference kernels
+  std::string payload;  // Response::payload_json() when record_payloads was set
 };
 
 struct BatchSummary {
@@ -105,6 +111,12 @@ class BatchRunner {
   /// every line (e.g. "deadline_ms=2000 verify_kernels=1").
   static std::string soak_manifest(int count, std::uint64_t base_seed,
                                    const std::string& extra_params = "");
+
+  /// The Request a manifest entry denotes: id, spec and overrides carried
+  /// over verbatim (the `stress` key stays an override, so `kind` is left
+  /// empty).  Shared with the serve replay tooling so a manifest line and
+  /// a wire request mean the same run.
+  static Request entry_request(const BatchEntry& entry);
 
   /// Execute the batch.  Never throws for per-run failures; throws only
   /// for harness-level problems (unreadable journal, bad manifest keys).

@@ -1,0 +1,78 @@
+#include "nshot/journal.hpp"
+
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace nshot {
+
+std::string journal_line(const BatchRunResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("id").value(result.id);
+  json.key("status").value(result.ok ? "ok" : "failed");
+  if (!result.ok) {
+    json.key("code").value(error_code_name(result.code));
+    json.key("stage").value(result.stage);
+    json.key("message").value(result.message);
+  }
+  json.key("attempts").value(result.attempts);
+  json.key("elapsed_ms").value(result.elapsed_ms);
+  if (result.kernel_fallbacks > 0) json.key("kernel_fallbacks").value(result.kernel_fallbacks);
+  json.end_object();
+  return json.str();
+}
+
+std::string journal_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+std::map<std::string, std::string> read_journal(const std::string& path) {
+  std::map<std::string, std::string> journaled;
+  if (path.empty()) return journaled;
+  std::ifstream journal(path);
+  std::string line;
+  while (journal && std::getline(journal, line)) {
+    if (line.empty() || line.back() != '}') continue;  // truncated tail
+    const std::string id = journal_field(line, "id");
+    if (!id.empty() && !journal_field(line, "status").empty()) journaled[id] = line;
+  }
+  return journaled;
+}
+
+BatchRunResult journal_result(const std::string& id, const std::string& line) {
+  BatchRunResult result;
+  result.id = id;
+  result.resumed = true;
+  result.ok = journal_field(line, "status") == "ok";
+  if (!result.ok) {
+    result.code = error_code_from_name(journal_field(line, "code"));
+    result.stage = journal_field(line, "stage");
+    result.message = journal_field(line, "message");
+  }
+  return result;
+}
+
+BatchRunResult batch_result(const Response& response) {
+  BatchRunResult result;
+  result.id = response.id;
+  result.ok = response.outcome.ok();
+  result.attempts = response.attempts;
+  result.elapsed_ms = response.elapsed_ms;
+  if (result.ok) {
+    result.kernel_fallbacks = static_cast<int>(response.outcome.run->kernel_fallbacks.size());
+  } else {
+    result.code = response.outcome.code;
+    result.stage = response.outcome.stage;
+    result.message = response.outcome.message;
+  }
+  return result;
+}
+
+}  // namespace nshot

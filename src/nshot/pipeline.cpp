@@ -83,58 +83,58 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
 
 Pipeline::~Pipeline() = default;
 
+namespace {
+
+/// A Request viewing `sg` without copying it (the aliasing-constructor
+/// trick: an empty owner, so the shared_ptr never deletes).  The view is
+/// only valid for the duration of the submit() call, which is exactly the
+/// lifetime the legacy by-reference entry points promised.
+Request graph_request(const sg::StateGraph& sg) {
+  Request request;
+  request.graph = std::shared_ptr<const sg::StateGraph>(std::shared_ptr<void>(), &sg);
+  return request;
+}
+
+}  // namespace
+
 PipelineRun Pipeline::run(const sg::StateGraph& sg) {
-  if (session_ && session_->label().empty()) session_->set_label(sg.name());
-
-  // Aggregate-built because SynthesisResult (Cover, TwoLevelSpec) has no
-  // default state — a run either synthesized or threw.
-  PipelineRun result{sg.name(), sg, core::synthesize(sg, options_.synthesis),
-                     {},    // conformance
-                     false,  // conformance_ran
-                     {},     // stress
-                     false,  // stress_ran
-                     {}};    // kernel_fallbacks
-
-  if (options_.verify_conformance) {
-    result.conformance = conformance_with_fallback(sg, result.synthesis.circuit,
-                                                   options_.conformance, result.kernel_fallbacks);
-    result.conformance_ran = true;
-  }
-  if (options_.stress_test) {
-    result.stress =
-        faults::run_stress(sg, result.synthesis.circuit, sg.name(), options_.stress);
-    result.stress_ran = true;
-  }
-  return result;
+  Response response = submit(graph_request(sg));
+  if (!response.outcome.ok()) std::rethrow_exception(response.outcome.exception);
+  return std::move(*response.outcome.run);
 }
 
 PipelineRun Pipeline::run_g(const std::string& g_text) {
-  const stg::Stg parsed = stg::parse_g(g_text);
-  return run(stg::build_state_graph(parsed));
+  Request request;
+  request.g_text = g_text;
+  Response response = submit(request);
+  if (!response.outcome.ok()) std::rethrow_exception(response.outcome.exception);
+  return std::move(*response.outcome.run);
 }
 
 RunOutcome Pipeline::run_checked(const sg::StateGraph& sg) {
-  return run_checked_impl(&sg, nullptr);
+  return submit(graph_request(sg)).outcome;
 }
 
 RunOutcome Pipeline::run_checked_g(const std::string& g_text) {
-  return run_checked_impl(nullptr, &g_text);
+  Request request;
+  request.g_text = g_text;
+  return submit(request).outcome;
 }
 
-RunOutcome Pipeline::run_checked_impl(const sg::StateGraph* graph_in,
-                                      const std::string* g_text) {
+RunOutcome Pipeline::run_with(const PipelineOptions& options, const sg::StateGraph* graph_in,
+                              const std::string* g_text) {
   RunOutcome out;
   const exec::CancelToken run_token =
-      exec::CancelToken::with_deadline(options_.run.deadline_ms);
+      exec::CancelToken::with_deadline(options.run.deadline_ms);
   const char* stage = g_text ? "parse" : "synthesize";
   try {
     std::optional<sg::StateGraph> graph;
     if (g_text) {
       stg::Stg parsed;
-      run_stage("parse", options_.run, run_token, [&] { parsed = stg::parse_g(*g_text); });
+      run_stage("parse", options.run, run_token, [&] { parsed = stg::parse_g(*g_text); });
       out.stages_completed.emplace_back("parse");
       stage = "reachability";
-      run_stage("reachability", options_.run, run_token,
+      run_stage("reachability", options.run, run_token,
                 [&] { graph.emplace(stg::build_state_graph(parsed)); });
       out.stages_completed.emplace_back("reachability");
       stage = "synthesize";
@@ -144,27 +144,27 @@ RunOutcome Pipeline::run_checked_impl(const sg::StateGraph* graph_in,
     if (session_ && session_->label().empty()) session_->set_label(graph->name());
 
     std::optional<core::SynthesisResult> synthesis;
-    run_stage("synthesize", options_.run, run_token,
-              [&] { synthesis.emplace(core::synthesize(*graph, options_.synthesis)); });
+    run_stage("synthesize", options.run, run_token,
+              [&] { synthesis.emplace(core::synthesize(*graph, options.synthesis)); });
     out.stages_completed.emplace_back("synthesize");
 
     PipelineRun result{graph->name(), std::move(*graph), std::move(*synthesis),
                        {}, false, {}, false, {}};
-    if (options_.verify_conformance) {
+    if (options.verify_conformance) {
       stage = "conformance";
-      run_stage("conformance", options_.run, run_token, [&] {
+      run_stage("conformance", options.run, run_token, [&] {
         result.conformance =
             conformance_with_fallback(result.graph, result.synthesis.circuit,
-                                      options_.conformance, result.kernel_fallbacks);
+                                      options.conformance, result.kernel_fallbacks);
       });
       result.conformance_ran = true;
       out.stages_completed.emplace_back("conformance");
     }
-    if (options_.stress_test) {
+    if (options.stress_test) {
       stage = "stress";
-      run_stage("stress", options_.run, run_token, [&] {
+      run_stage("stress", options.run, run_token, [&] {
         result.stress = faults::run_stress(result.graph, result.synthesis.circuit,
-                                           result.benchmark, options_.stress);
+                                           result.benchmark, options.stress);
       });
       result.stress_ran = true;
       out.stages_completed.emplace_back("stress");
@@ -174,10 +174,12 @@ RunOutcome Pipeline::run_checked_impl(const sg::StateGraph* graph_in,
     out.code = e.code();
     out.stage = stage;
     out.message = e.what();
+    out.exception = std::current_exception();
   } catch (const std::exception& e) {
     out.code = classify_exception(e);
     out.stage = stage;
     out.message = e.what();
+    out.exception = std::current_exception();
   }
   return out;
 }

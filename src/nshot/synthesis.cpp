@@ -40,14 +40,27 @@ logic::Cover minimize_spec(const logic::TwoLevelSpec& spec, const SynthesisOptio
                        : logic::espresso(spec, espresso_options);
 }
 
+/// The process-wide (F, D, R) minimization memo.  Function-scoped static
+/// so construction is lazy and thread-safe; shared by every Pipeline in
+/// the process, which is what makes repeated serve requests for the same
+/// controller warm.
+exec::MemoCache<logic::Cover>& minimization_cache() {
+  static exec::MemoCache<logic::Cover> cache;
+  return cache;
+}
+
 logic::Cover minimize_cached(const logic::TwoLevelSpec& spec, const SynthesisOptions& options) {
   if (!options.memoize_minimization) return minimize_spec(spec, options);
-  static exec::MemoCache<logic::Cover> cache;
-  return cache.get_or_compute(minimization_key(spec, options),
-                              [&] { return minimize_spec(spec, options); });
+  return minimization_cache().get_or_compute(minimization_key(spec, options),
+                                             [&] { return minimize_spec(spec, options); });
 }
 
 }  // namespace
+
+MinimizationCacheStats minimization_cache_stats() {
+  const auto stats = minimization_cache().stats();
+  return {stats.hits, stats.misses, stats.entries};
+}
 
 SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& options) {
   const obs::Span synth_span("synthesize");

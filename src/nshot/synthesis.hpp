@@ -78,6 +78,16 @@ struct SynthesisResult {
   bool delay_compensation_used = false;
 };
 
+/// Snapshot of the process-wide (F, D, R) minimization memo — the cache
+/// every Pipeline in the process shares, so a serve worker can report
+/// warm-vs-cold hit rates without owning the cache.
+struct MinimizationCacheStats {
+  long hits = 0;
+  long misses = 0;
+  std::size_t entries = 0;
+};
+MinimizationCacheStats minimization_cache_stats();
+
 /// Run the full flow.  Throws SynthesisError when the SG is outside the
 /// implementable class characterized by Theorem 2.
 SynthesisResult synthesize(const sg::StateGraph& sg, const SynthesisOptions& options = {});

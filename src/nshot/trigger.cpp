@@ -56,7 +56,7 @@ TriggerReport enforce_trigger_requirement(const sg::StateGraph& sg,
         supercube.set_outputs(1ULL << output);
 
         bool covered;
-        if (options.use_reference_membership()) {
+        if (options.reference_kernels) {
           covered = has_trigger_cube(cover, output, codes);
         } else {
           covered = false;

@@ -53,17 +53,12 @@ struct TriggerReport {
 bool has_trigger_cube(const logic::Cover& cover, int output,
                       const std::vector<std::uint64_t>& codes);
 
-struct TriggerOptions : RunConfig {
-  /// Deprecated alias for the inherited RunConfig::reference_kernels:
-  /// use the code-at-a-time has_trigger_cube scan instead of the
-  /// supercube-containment fast path — byte-equality oracle for
-  /// tests/benches.  Either spelling switches to the reference path.
-  bool reference_membership = false;
-
-  bool use_reference_membership() const {
-    return reference_membership || reference_kernels;
-  }
-};
+/// The inherited RunConfig::reference_kernels switches the membership
+/// check to the code-at-a-time has_trigger_cube scan instead of the
+/// supercube-containment fast path — the byte-equality oracle for
+/// tests/benches.  (The pre-RunConfig `reference_membership` alias shipped
+/// one release of deprecation warnings and is gone.)
+struct TriggerOptions : RunConfig {};
 
 /// Check all trigger regions of all non-input signals against `cover` and
 /// repair violations by adding supercubes where possible.  `regions` must

@@ -41,6 +41,9 @@ constexpr CounterInfo kCounterTable[kNumCounters] = {
     {"batch_peels", false},
     {"batch_lockstep_shared", false},
     {"calendar_resizes", false},
+    {"serve_admitted", false},
+    {"serve_rejected", false},
+    {"serve_completed", false},
 };
 
 constexpr GaugeInfo kGaugeTable[kNumGauges] = {

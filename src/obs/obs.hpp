@@ -64,6 +64,12 @@ enum class Counter : int {
   kBatchLockstepShared,      // batch lanes that shared a leader's execution
   kCalendarResizes,          // calendar-queue re-bucketing passes (nondet:
                              // fires inside adversarial evaluations too)
+  kServeAdmitted,            // serve requests admitted to the fair-share
+                             // queue (nondet: traffic-dependent)
+  kServeRejected,            // serve admission rejections (backlog full,
+                             // deadline hopeless, draining)
+  kServeCompleted,           // serve requests that reached a terminal
+                             // Response (ok or classified failure)
   kCount
 };
 

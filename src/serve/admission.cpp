@@ -1,0 +1,116 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "exec/thread_pool.hpp"
+#include <cstdio>
+
+namespace nshot::serve {
+
+FairShareQueue::FairShareQueue(AdmissionOptions options) : options_(options) {
+  max_inflight_ = options_.max_inflight > 0
+                      ? options_.max_inflight
+                      : std::max(exec::ThreadPool::shared().num_threads() / 2, 2);
+  options_.per_client_inflight = std::max(options_.per_client_inflight, 1);
+  service_ms_ = options_.initial_service_ms;
+}
+
+bool FairShareQueue::offer(Ticket ticket, std::string* reason) {
+  if (queued_ >= options_.max_queue) {
+    if (reason)
+      *reason = "backlog full (" + std::to_string(queued_) + " queued, cap " +
+                std::to_string(options_.max_queue) + ")";
+    return false;
+  }
+  if (ticket.deadline_ms > 0 && service_ms_ > 0) {
+    // Projected wait before this request could start: everything already
+    // queued, spread over the worker slots, one EWMA service time each.
+    // Conservative on purpose — a request that would spend its whole
+    // deadline waiting is cheaper to reject now than to time out later.
+    const double projected_wait_ms =
+        (static_cast<double>(queued_) / max_inflight_) * service_ms_;
+    if (projected_wait_ms > ticket.deadline_ms) {
+      if (reason) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "deadline %.3g ms cannot be met (projected queue wait %.3g ms)",
+                      ticket.deadline_ms, projected_wait_ms);
+        *reason = buf;
+      }
+      return false;
+    }
+  }
+  ClientState& client = clients_[ticket.client];
+  if (client.by_class.find(ticket.klass) == client.by_class.end())
+    client.class_order.push_back(ticket.klass);
+  if (std::find(client_order_.begin(), client_order_.end(), ticket.client) ==
+      client_order_.end())
+    client_order_.push_back(ticket.client);
+  client.by_class[ticket.klass].push_back(std::move(ticket));
+  ++client.queued;
+  ++queued_;
+  return true;
+}
+
+std::optional<Ticket> FairShareQueue::pop_from(ClientState& client) {
+  // Round-robin across the client's class queues, FIFO within each.
+  for (std::size_t i = 0; i < client.class_order.size(); ++i) {
+    const std::size_t at = (client.next_class + i) % client.class_order.size();
+    std::deque<Ticket>& queue = client.by_class[client.class_order[at]];
+    if (queue.empty()) continue;
+    Ticket ticket = std::move(queue.front());
+    queue.pop_front();
+    client.next_class = (at + 1) % client.class_order.size();
+    --client.queued;
+    --queued_;
+    return ticket;
+  }
+  return std::nullopt;
+}
+
+std::optional<Ticket> FairShareQueue::take() {
+  if (inflight_ >= max_inflight_ || queued_ == 0 || client_order_.empty())
+    return std::nullopt;
+  for (std::size_t i = 0; i < client_order_.size(); ++i) {
+    const std::size_t at = (next_client_ + i) % client_order_.size();
+    ClientState& client = clients_[client_order_[at]];
+    if (client.queued == 0 || client.inflight >= options_.per_client_inflight) continue;
+    if (std::optional<Ticket> ticket = pop_from(client)) {
+      ++client.inflight;
+      ++inflight_;
+      next_client_ = (at + 1) % client_order_.size();
+      return ticket;
+    }
+  }
+  return std::nullopt;
+}
+
+void FairShareQueue::complete(const std::string& client_id, double service_ms) {
+  const auto it = clients_.find(client_id);
+  if (it != clients_.end() && it->second.inflight > 0) --it->second.inflight;
+  if (inflight_ > 0) --inflight_;
+  if (service_ms > 0) {
+    const double a = options_.service_ewma_alpha;
+    service_ms_ = a * service_ms + (1 - a) * service_ms_;
+  }
+}
+
+std::vector<Ticket> FairShareQueue::evict_queued() {
+  std::vector<Ticket> evicted;
+  for (auto& [name, client] : clients_) {
+    (void)name;
+    for (auto& [klass, queue] : client.by_class) {
+      (void)klass;
+      for (Ticket& ticket : queue) evicted.push_back(std::move(ticket));
+      queue.clear();
+    }
+    client.queued = 0;
+  }
+  queued_ = 0;
+  // Keep FIFO admission order for deterministic drain reporting.
+  std::sort(evicted.begin(), evicted.end(),
+            [](const Ticket& a, const Ticket& b) { return a.seq < b.seq; });
+  return evicted;
+}
+
+}  // namespace nshot::serve

@@ -1,0 +1,169 @@
+#include "serve/file_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "nshot/journal.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace nshot::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::string kRequestSuffix = ".req.json";
+const std::string kClaimSuffix = ".req.json.claimed";
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream stream(path);
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+/// First line of the file (a request is one NDJSON object; tolerate a
+/// trailing newline or accidental extra blank lines).
+std::string first_line(const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  return eol == std::string::npos ? text : text.substr(0, eol);
+}
+
+void write_atomic(const fs::path& path, const std::string& body) {
+  const fs::path tmp = fs::path(path.string() + ".tmp");
+  {
+    std::ofstream out(tmp);
+    out << body << "\n";
+  }
+  fs::rename(tmp, path);
+}
+
+/// Response document for a request answered from the journal: carries the
+/// terminal verdict plus "resumed":true, with no timing (nothing ran).
+std::string resumed_response_json(const BatchRunResult& record) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("id").value(record.id);
+  json.key("ok").value(record.ok);
+  json.key("resumed").value(true);
+  if (!record.ok) {
+    json.key("error").begin_object();
+    json.key("code").value(error_code_name(record.code));
+    json.key("stage").value(record.stage);
+    json.key("message").value(record.message);
+    json.end_object();
+  }
+  json.key("elapsed_ms").value(0.0);
+  json.key("attempts").value(0);
+  json.end_object();
+  return json.str();
+}
+
+bool drain_eviction(const Response& response) {
+  return response.outcome.stage == "admission" &&
+         starts_with(response.outcome.message, "draining");
+}
+
+}  // namespace
+
+FileQueueWorker::FileQueueWorker(FileQueueOptions options, Server& server)
+    : options_(std::move(options)), server_(server) {
+  NSHOT_REQUIRE(fs::is_directory(options_.dir),
+                "file-queue directory " + options_.dir + " does not exist");
+  // A claim left behind by a killed worker is a request that never got a
+  // response: give it back to the queue (the journal still short-circuits
+  // anything that did finish).
+  for (const auto& entry : fs::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().string();
+    if (!ends_with(name, kClaimSuffix)) continue;
+    fs::rename(entry.path(), name.substr(0, name.size() - 8));  // strip ".claimed"
+  }
+}
+
+void FileQueueWorker::dispatch(const std::string& request_path) {
+  const fs::path claim(request_path + ".claimed");
+  {
+    std::error_code ec;
+    fs::rename(request_path, claim, ec);
+    if (ec) return;  // raced with another worker (or the file vanished)
+  }
+  const std::string stem =
+      request_path.substr(0, request_path.size() - kRequestSuffix.size());
+  const fs::path response_path(stem + ".resp.json");
+
+  WireRequest wire;
+  try {
+    wire = parse_request(first_line(read_file(claim)));
+  } catch (const std::exception& e) {
+    const std::string id = fs::path(stem).filename().string();
+    write_atomic(response_path, rejection(id, ErrorCode::kInputInvalid, e.what()).to_json());
+    fs::remove(claim);
+    return;
+  }
+
+  const std::string journaled = server_.journaled(wire.request.id);
+  if (!journaled.empty()) {
+    server_.count_resumed();
+    write_atomic(response_path, resumed_response_json(journal_result(wire.request.id, journaled)));
+    fs::remove(claim);
+    return;
+  }
+
+  server_.enqueue(wire, [claim, request_path, response_path](const Response& response) {
+    // Completion callback — runs on a worker (or the admission) thread.
+    // Must not throw; filesystem failures here would otherwise tear down
+    // the pool.
+    std::error_code ec;
+    if (drain_eviction(response)) {
+      // Never ran: put the request back for the next incarnation.
+      fs::rename(claim, request_path, ec);
+      return;
+    }
+    try {
+      write_atomic(response_path, response.to_json());
+    } catch (const std::exception&) {
+      return;  // leave the claim as the breadcrumb
+    }
+    fs::remove(claim, ec);
+  });
+}
+
+int FileQueueWorker::scan_once() {
+  std::vector<std::string> pending;
+  for (const auto& entry : fs::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().string();
+    if (ends_with(name, kRequestSuffix)) pending.push_back(name);
+  }
+  std::sort(pending.begin(), pending.end());
+  for (const std::string& path : pending) dispatch(path);
+  return static_cast<int>(pending.size());
+}
+
+void FileQueueWorker::run(const std::atomic<bool>& stop) {
+  int idle = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (scan_once() > 0) {
+      idle = 0;
+      continue;
+    }
+    ++idle;
+    if (options_.idle_exit_scans > 0 && idle >= options_.idle_exit_scans &&
+        server_.stats().inflight == 0 && server_.stats().queued == 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
+  }
+  server_.drain();
+}
+
+}  // namespace nshot::serve

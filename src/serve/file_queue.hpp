@@ -1,0 +1,46 @@
+// File-queue transport: the CI-friendly serve mode.  Clients drop
+// `<name>.req.json` files (one NDJSON request object each) into a
+// directory; the worker claims each file by renaming it to
+// `<name>.req.json.claimed`, runs it through the Server, and atomically
+// writes `<name>.resp.json` (tmp + rename).  Requests already terminal in
+// the server's journal are answered without executing (resume), and
+// requests evicted by a drain (rejection message prefix "draining") get
+// their `.req.json` restored so the next incarnation reruns them.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace nshot::serve {
+
+struct FileQueueOptions {
+  std::string dir;       // watched directory (must exist)
+  int poll_ms = 50;      // sleep between empty scans
+  int idle_exit_scans = 0;  // >0: stop after N consecutive empty scans
+};
+
+class FileQueueWorker {
+ public:
+  FileQueueWorker(FileQueueOptions options, Server& server);
+
+  /// One directory scan: claim and dispatch every pending `.req.json`.
+  /// Returns the number of requests dispatched (or answered from the
+  /// journal).  Responses are written asynchronously by the server's
+  /// completion callbacks.
+  int scan_once();
+
+  /// Poll until `stop` becomes true (or `idle_exit_scans` consecutive
+  /// empty scans), then drain the server.  Safe to call from main while a
+  /// signal handler flips `stop`.
+  void run(const std::atomic<bool>& stop);
+
+ private:
+  void dispatch(const std::string& request_path);
+
+  FileQueueOptions options_;
+  Server& server_;
+};
+
+}  // namespace nshot::serve

@@ -1,0 +1,380 @@
+#include "util/json_value.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nshot {
+
+namespace {
+
+const std::vector<JsonValue>& empty_array() {
+  static const std::vector<JsonValue> empty;
+  return empty;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& empty_object() {
+  static const std::vector<std::pair<std::string, JsonValue>> empty;
+  return empty;
+}
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_error(JsonValue::Kind want, JsonValue::Kind got) {
+  throw Error(ErrorCode::kInputInvalid, std::string("JSON value is ") + kind_name(got) +
+                                            ", expected " + kind_name(want));
+}
+
+/// Recursive-descent parser over one UTF-8 document.  Positions in error
+/// messages are byte offsets — good enough to locate a bad request line.
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& what) : text_(text), what_(what) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after the document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error(ErrorCode::kInputInvalid,
+                what_ + ": " + message + " at byte " + std::to_string(pos_));
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 64 levels");
+    skip_ws();
+    JsonValue value;
+    switch (peek()) {
+      case '{': value = parse_object(); break;
+      case '[': value = parse_array(); break;
+      case '"': value = JsonValue::make_string(parse_string()); break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        value = JsonValue::make_bool(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        value = JsonValue::make_bool(false);
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        break;
+      default: value = parse_number(); break;
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::set<std::string> seen;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected a member key string");
+      std::string key = parse_string();
+      if (!seen.insert(key).second) fail("duplicate object key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char escape = next();
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default:
+          --pos_;
+          fail("bad escape sequence");
+      }
+    }
+  }
+
+  /// \uXXXX (with surrogate pairs) re-encoded as UTF-8.
+  std::string parse_unicode_escape() {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate: need the pair
+      if (next() != '\\' || next() != 'u') {
+        --pos_;
+        fail("unpaired UTF-16 surrogate");
+      }
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("bad \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t begin = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("expected a value");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number: digit after '.'");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number: exponent digits");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token = text_.substr(begin, pos_ - begin);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) fail("bad number");
+    return JsonValue::make_number(value);
+  }
+
+  const std::string& text_;
+  const std::string& what_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error(Kind::kBool, kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error(Kind::kNumber, kind_);
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double value = as_number();
+  const double truncated = std::trunc(value);
+  NSHOT_REQUIRE_CODE(truncated == value && std::abs(value) <= 9.007199254740992e15,
+                     ErrorCode::kInputInvalid,
+                     "JSON number " + std::to_string(value) + " is not an exact integer");
+  return static_cast<std::int64_t>(truncated);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error(Kind::kString, kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) kind_error(Kind::kArray, kind_);
+  return array_ ? *array_ : empty_array();
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) kind_error(Kind::kObject, kind_);
+  return object_ ? *object_ : empty_object();
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject || !object_) return nullptr;
+  for (const auto& [name, value] : *object_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  NSHOT_REQUIRE_CODE(value != nullptr, ErrorCode::kInputInvalid,
+                     "missing JSON object member \"" + key + "\"");
+  return *value;
+}
+
+std::string JsonValue::string_or(const std::string& key, const std::string& fallback) const {
+  const JsonValue* value = find(key);
+  return value && !value->is_null() ? value->as_string() : fallback;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* value = find(key);
+  return value && !value->is_null() ? value->as_number() : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* value = find(key);
+  return value && !value->is_null() ? value->as_bool() : fallback;
+}
+
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_shared<const std::vector<JsonValue>>(std::move(items));
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ =
+      std::make_shared<const std::vector<std::pair<std::string, JsonValue>>>(std::move(members));
+  return v;
+}
+
+JsonValue parse_json(const std::string& text, const std::string& what) {
+  return Parser(text, what).parse_document();
+}
+
+}  // namespace nshot

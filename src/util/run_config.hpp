@@ -31,8 +31,9 @@ struct RunConfig {
 
   /// Route hot paths through their uncompiled/ordered reference
   /// implementations — for kernel-equivalence tests and benchmarking
-  /// only.  Structs with a narrower legacy spelling (e.g.
-  /// TriggerOptions::reference_membership) honor either flag.
+  /// only.  This is the single spelling: the narrower per-struct aliases
+  /// (TriggerOptions::reference_membership, ExactOptions::reference_sets)
+  /// shipped one release of deprecation warnings and were removed.
   bool reference_kernels = false;
 
   /// Freeze the per-trial compiled driver of PR 3 (binary-heap event

@@ -2,7 +2,7 @@
 // path introduced by the kernel layer must be byte-identical to the
 // original reference implementation it replaced.  The reference paths are
 // compiled in behind options flags (ConformanceOptions::reference_kernels,
-// StressOptions::reference_kernels, ExactOptions::reference_sets,
+// StressOptions::reference_kernels, ExactOptions inherited reference_kernels,
 // ReachabilityOptions::reference_maps, compute_regions_reference), so the
 // comparison runs over randomly generated controllers in one binary.
 #include <gtest/gtest.h>
@@ -199,10 +199,10 @@ TEST_P(KernelEquivalenceTest, ExactMinimizeMatchesReferenceSets) {
   spec.normalize();
 
   logic::ExactOptions options;
-  options.reference_sets = true;
+  options.reference_kernels = true;
   const logic::Cover reference = logic::exact_minimize(spec, options);
   const auto reference_primes = logic::generate_primes(spec, 0, options);
-  options.reference_sets = false;
+  options.reference_kernels = false;
   const logic::Cover hashed = logic::exact_minimize(spec, options);
   const auto hashed_primes = logic::generate_primes(spec, 0, options);
 
@@ -300,10 +300,10 @@ TEST_P(KernelEquivalenceTest, TriggerEnforcementMatchesReferenceMembership) {
     logic::Cover reference_cover = thinned;
     logic::Cover fast_cover = thinned;
     core::TriggerOptions options;
-    options.reference_membership = true;
+    options.reference_kernels = true;
     const core::TriggerReport reference = core::enforce_trigger_requirement(
         gen->graph, regions, gen->result.derived, reference_cover, options);
-    options.reference_membership = false;
+    options.reference_kernels = false;
     const core::TriggerReport fast = core::enforce_trigger_requirement(
         gen->graph, regions, gen->result.derived, fast_cover, options);
 

@@ -11,6 +11,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "bench_suite/benchmarks.hpp"
@@ -261,18 +263,36 @@ TEST(RunConfigTest, OldMemberSpellingsStillCompile) {
   EXPECT_EQ(synthesis.jobs, 5);
 }
 
-TEST(RunConfigTest, DeprecatedReferenceAliasesStillSwitchKernels) {
-  logic::ExactOptions exact;
-  EXPECT_FALSE(exact.use_reference_sets());
-  exact.reference_sets = true;  // old spelling
-  EXPECT_TRUE(exact.use_reference_sets());
-  exact.reference_sets = false;
-  exact.reference_kernels = true;  // shared spelling
-  EXPECT_TRUE(exact.use_reference_sets());
+// The deprecated per-struct aliases (ExactOptions::reference_sets,
+// TriggerOptions::reference_membership) shipped one release of warnings
+// and were removed: RunConfig::reference_kernels is the only spelling.
+// Member-detection asserts they stay gone — re-adding either is a
+// compile-time test failure, not a silent back-compat regression.
+template <typename T, typename = void>
+struct has_reference_sets : std::false_type {};
+template <typename T>
+struct has_reference_sets<T, std::void_t<decltype(std::declval<T>().reference_sets)>>
+    : std::true_type {};
 
+template <typename T, typename = void>
+struct has_reference_membership : std::false_type {};
+template <typename T>
+struct has_reference_membership<T, std::void_t<decltype(std::declval<T>().reference_membership)>>
+    : std::true_type {};
+
+TEST(RunConfigTest, DeprecatedReferenceAliasesAreGone) {
+  static_assert(!has_reference_sets<logic::ExactOptions>::value,
+                "ExactOptions::reference_sets was removed; use reference_kernels");
+  static_assert(!has_reference_membership<core::TriggerOptions>::value,
+                "TriggerOptions::reference_membership was removed; use reference_kernels");
+
+  // The shared spelling still reaches both consumers.
+  logic::ExactOptions exact;
+  exact.reference_kernels = true;
+  EXPECT_TRUE(exact.reference_kernels);
   core::TriggerOptions trigger;
-  trigger.reference_membership = true;
-  EXPECT_TRUE(trigger.use_reference_membership());
+  trigger.reference_kernels = true;
+  EXPECT_TRUE(trigger.reference_kernels);
 }
 
 TEST(RunConfigTest, DefaultsAreUnchanged) {

@@ -8,6 +8,8 @@
 #include "gatelib/gate_library.hpp"
 #include "netlist/netlist.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/json_value.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -59,6 +61,82 @@ TEST(RngTest, RoughlyUniformBits) {
   const int trials = 10000;
   for (int i = 0; i < trials; ++i) ones += r.next_bool() ? 1 : 0;
   EXPECT_NEAR(ones, trials / 2, 300);  // ~6 sigma
+}
+
+// ----------------------------------------------------------- json parse --
+
+TEST(JsonParseTest, ParsesScalarsArraysAndObjects) {
+  const JsonValue doc = parse_json(
+      R"({"id":"r1","ok":true,"n":3,"x":-2.5e1,"none":null,"list":[1,"two",false]})");
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("id").as_string(), "r1");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("n").as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc.at("x").as_number(), -25.0);
+  EXPECT_TRUE(doc.at("none").is_null());
+  const auto& list = doc.at("list").as_array();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].as_int(), 1);
+  EXPECT_EQ(list[1].as_string(), "two");
+  EXPECT_FALSE(list[2].as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.string_or("id", "x"), "r1");
+  EXPECT_EQ(doc.string_or("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(doc.number_or("none", 7.0), 7.0);
+}
+
+TEST(JsonParseTest, DecodesEscapesAndSurrogatePairs) {
+  const JsonValue doc = parse_json(R"({"s":"a\"b\\c\ndAé😀"})");
+  EXPECT_EQ(doc.at("s").as_string(), std::string("a\"b\\c\ndA\xc3\xa9\xf0\x9f\x98\x80"));
+}
+
+TEST(JsonParseTest, RoundTripsJsonWriterOutput) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("name").value("tab\there \"quoted\"");
+  writer.key("count").value(42);
+  writer.key("ratio").value(1.5);
+  writer.key("flags").begin_array().value(true).value(false).end_array();
+  writer.end_object();
+  const JsonValue doc = parse_json(writer.str());
+  EXPECT_EQ(doc.at("name").as_string(), "tab\there \"quoted\"");
+  EXPECT_EQ(doc.at("count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 1.5);
+  EXPECT_EQ(doc.at("flags").as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocumentsAsInputInvalid) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\":1,}", "tru", "01x", "\"unterminated",
+        "{\"a\":1}garbage", "{\"dup\":1,\"dup\":2}", "\"bad \\q escape\"",
+        "{\"a\":\"\\ud800 unpaired\"}", "1e99999"}) {
+    try {
+      parse_json(bad, "test doc");
+      FAIL() << "expected rejection of: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInputInvalid) << bad;
+      EXPECT_NE(std::string(e.what()).find("test doc"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST(JsonParseTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(parse_json(deep), Error);
+}
+
+TEST(JsonParseTest, CheckedAccessorsNameTheKindMismatch) {
+  const JsonValue doc = parse_json(R"({"n":1})");
+  try {
+    doc.at("n").as_string();
+    FAIL() << "expected a kind mismatch";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInputInvalid);
+    EXPECT_NE(std::string(e.what()).find("expected string"), std::string::npos);
+  }
+  EXPECT_THROW(doc.at("missing"), Error);
+  EXPECT_THROW(parse_json(R"({"x":1.5})").at("x").as_int(), Error);
 }
 
 // -------------------------------------------------------------- gatelib --

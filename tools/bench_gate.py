@@ -37,6 +37,9 @@ RATIO_KEYS = (
     "stress_batch_speedup",
     "total_batch_speedup",
     "largest_tier_combined_speedup",
+    # BENCH_serve.json: mean server-side latency of the cold (empty memo)
+    # pass over the warm (repeated specs) passes — the shared-cache payoff.
+    "warm_over_cold",
 )
 
 # Ratios gated per case row (matched by "name" across the two files).
